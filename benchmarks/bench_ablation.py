@@ -1,0 +1,63 @@
+"""Ablation bench: isolate LBICA's design choices (see DESIGN.md).
+
+Runs the ablation grid on the mail workload (the only one exercising all
+three policy transitions) and checks:
+
+- adaptive LBICA beats every fixed single policy it could have pinned;
+- the strict WT+WO SIB (Kim et al.'s literal design) is no better than
+  the read-promoting WT variant we default to;
+- LBICA's gain is replacement-policy-agnostic.
+"""
+
+from dataclasses import replace
+
+from repro.config import paper_config
+from repro.experiments.ablation import run_ablations
+from repro.experiments.system import ExperimentSystem
+
+
+def test_ablation_grid(benchmark):
+    result = benchmark.pedantic(
+        run_ablations,
+        args=("mail",),
+        kwargs={
+            "config": paper_config(),
+            "include_replacement_sweep": False,
+            "include_margin_sweep": False,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.table())
+    rows = result.rows
+    adaptive = rows["lbica (adaptive)"]["mean_latency_us"]
+    assert adaptive < rows["fixed WB"]["mean_latency_us"]
+    assert adaptive < rows["fixed WT"]["mean_latency_us"]
+    # fixed WO caches every write at cliff cost: adaptive must beat it
+    assert adaptive < rows["fixed WO"]["mean_latency_us"]
+    # strict WT+WO never serves read-after-read: not better than plain WT
+    assert (
+        rows["sib (strict WT+WO)"]["mean_latency_us"]
+        >= rows["sib (default WT)"]["mean_latency_us"] * 0.9
+    )
+
+
+def test_replacement_policy_sweep(benchmark):
+    """LBICA's cache-load cut must hold for every replacement policy."""
+    config = paper_config()
+
+    def sweep():
+        out = {}
+        for repl in ("lru", "fifo", "clock", "lfu"):
+            cfg = replace(config, replacement=repl)
+            lbica = ExperimentSystem.build("web", "lbica", cfg).run()
+            wb = ExperimentSystem.build("web", "wb", cfg).run()
+            out[repl] = (wb.mean_latency, lbica.mean_latency)
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for repl, (wb_lat, lbica_lat) in results.items():
+        print(f"  {repl:6s} WB {wb_lat:9.0f}µs → LBICA {lbica_lat:9.0f}µs")
+        assert lbica_lat < wb_lat, repl

@@ -1,0 +1,74 @@
+"""Characterization bench: §IV-C's measured queue mixes + classifier speed.
+
+Validates that the paper's four reported in-queue mixes map to the groups
+the paper assigns, and measures the classifier's per-snapshot cost (it
+runs on every monitoring tick, so it must be cheap — this was one of
+LBICA's advantages over SIB's per-request estimation).
+"""
+
+from collections import Counter
+
+from repro.core.characterization import QueueMix, WorkloadCharacterizer, WorkloadGroup
+from repro.io.request import OpTag
+
+#: (label, mix, expected group) — the paper's §IV-C snapshots.
+PAPER_MIXES = [
+    (
+        "tpcc@3  R44.0 W2.2  P51.0 E2.8",
+        QueueMix(r=0.440, w=0.022, p=0.510, e=0.028, total=1000),
+        WorkloadGroup.RANDOM_READ,
+    ),
+    (
+        "mail@23 R13.9 W70.4 P3.9  E11.8",
+        QueueMix(r=0.139, w=0.704, p=0.039, e=0.118, total=1000),
+        WorkloadGroup.MIXED_RW,
+    ),
+    (
+        "mail@134 ~90% W+E",
+        QueueMix(r=0.050, w=0.600, p=0.050, e=0.300, total=1000),
+        None,  # any Group-3 variant
+    ),
+    (
+        "web@1   R17.9 W63.8 P7.9  E10.4",
+        QueueMix(r=0.179, w=0.638, p=0.079, e=0.104, total=1000),
+        WorkloadGroup.MIXED_RW,
+    ),
+]
+
+
+def test_paper_mixes_classify_correctly(benchmark):
+    clf = WorkloadCharacterizer()
+
+    def classify_all():
+        return [clf.classify(mix) for _, mix, _ in PAPER_MIXES]
+
+    groups = benchmark(classify_all)
+    print()
+    for (label, _, expected), group in zip(PAPER_MIXES, groups):
+        print(f"  {label:34s} -> {group.value}")
+        if expected is None:
+            assert group.is_write_intensive
+        else:
+            assert group is expected
+
+
+def test_classifier_throughput_on_raw_counts(benchmark):
+    """Classifier cost on raw tag counters (the controller's hot path)."""
+    clf = WorkloadCharacterizer()
+    snapshots = [
+        Counter(
+            {
+                OpTag.READ: (17 * i) % 211,
+                OpTag.WRITE: (31 * i) % 193,
+                OpTag.PROMOTE: (13 * i) % 101,
+                OpTag.EVICT: (7 * i) % 53,
+            }
+        )
+        for i in range(256)
+    ]
+
+    def classify_batch():
+        return [clf.classify_counts(c) for c in snapshots]
+
+    results = benchmark(classify_batch)
+    assert len(results) == 256

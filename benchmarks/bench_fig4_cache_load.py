@@ -1,0 +1,22 @@
+"""Fig. 4 bench: regenerate the I/O-cache load curves and verify shape.
+
+Prints the same per-interval series the paper plots (as an ASCII chart)
+and asserts the figure's qualitative properties: WB highest, SIB between,
+LBICA lowest on the cache side.
+"""
+
+from repro.experiments.fig4 import generate_fig4
+
+
+def test_fig4_cache_load(benchmark, paper_runner):
+    fig = benchmark.pedantic(
+        generate_fig4, args=(paper_runner,), rounds=1, iterations=1
+    )
+    print()
+    print(fig.ascii_chart)
+    print(fig.checks_table())
+    assert fig.all_passed, fig.checks_table()
+    # every panel covers the paper's full interval axis
+    assert len(fig.series["tpcc"][0]) == 200
+    assert len(fig.series["mail"][0]) == 200
+    assert len(fig.series["web"][0]) == 175

@@ -1,0 +1,18 @@
+"""Fig. 5 bench: regenerate the disk-subsystem load curves and verify shape.
+
+LBICA must *shift* load onto the disk (its disk curve rises where its
+cache curve falls) and SIB's write-through mirroring must keep the disk
+the most loaded of the three schemes on write-heavy workloads.
+"""
+
+from repro.experiments.fig5 import generate_fig5
+
+
+def test_fig5_disk_load(benchmark, paper_runner):
+    fig = benchmark.pedantic(
+        generate_fig5, args=(paper_runner,), rounds=1, iterations=1
+    )
+    print()
+    print(fig.ascii_chart)
+    print(fig.checks_table())
+    assert fig.all_passed, fig.checks_table()

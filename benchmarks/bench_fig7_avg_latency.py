@@ -1,0 +1,22 @@
+"""Fig. 7 bench: regenerate the average-latency bars and verify ordering.
+
+WB > SIB > LBICA on every workload; largest LBICA-vs-SIB gain on TPC-C,
+smallest on mail — the paper's §IV-D observations.
+"""
+
+from repro.experiments.fig7 import generate_fig7
+
+
+def test_fig7_avg_latency(benchmark, paper_runner):
+    fig = benchmark.pedantic(
+        generate_fig7, args=(paper_runner,), rounds=1, iterations=1
+    )
+    print()
+    print(fig.ascii_chart)
+    print(fig.checks_table())
+    assert fig.all_passed, fig.checks_table()
+
+    bars = fig.extra["bars"]
+    for workload in ("TPCC", "MAIL", "WEB"):
+        assert bars[workload]["WB"] > bars[workload]["LBICA"]
+        assert bars[workload]["SIB"] > bars[workload]["LBICA"]

@@ -1,0 +1,35 @@
+"""Headline bench: the paper's abstract-level percentages.
+
+H1 (cache load vs SIB), H2 (burst-interval cache load), H3 (latency vs
+WB/SIB) — direction and ordering must hold; magnitudes are reported
+side-by-side with the paper's.
+"""
+
+from repro.experiments.headline import generate_headline
+
+
+def test_headline_claims(benchmark, paper_runner):
+    report = benchmark.pedantic(
+        generate_headline, args=(paper_runner,), rounds=1, iterations=1
+    )
+    print()
+    print(report.table())
+    assert report.all_directions_hold, report.table()
+    # the paper's per-workload ordering of SIB-relative gains
+    gains = report.latency_gain_vs_sib
+    assert gains["tpcc"] == max(gains.values())
+    assert gains["mail"] == min(gains.values())
+
+
+def test_full_grid_simulation(benchmark):
+    """Wall-clock of the raw 3×3 paper-scale simulation grid."""
+    from repro.config import paper_config
+    from repro.experiments.runner import ExperimentRunner
+
+    def run_grid():
+        runner = ExperimentRunner(paper_config())
+        return runner.run_many()
+
+    grid = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    assert len(grid) == 9
+    assert all(r.completed > 0 for r in grid.values())

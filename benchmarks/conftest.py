@@ -1,0 +1,21 @@
+"""Shared benchmark fixtures.
+
+The full-scale grid (3 workloads × 3 schemes at paper scale) is simulated
+once per session and memoized; figure benches measure regeneration on top
+of it, and one dedicated bench measures the raw grid simulation itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import paper_config
+from repro.experiments.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="session")
+def paper_runner() -> ExperimentRunner:
+    """Session-scoped memoizing runner at paper scale (seed 7)."""
+    runner = ExperimentRunner(paper_config())
+    runner.run_many()  # pre-simulate the 3×3 grid once
+    return runner

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Policy playground: what each fixed write policy costs on each group.
+
+Pins each of WB / WT / RO / WO for a whole run on each of the paper's
+four characterization groups (random read, mixed read-write, random
+write, sequential read) and prints the latency matrix next to adaptive
+LBICA — making Section III-C's assignment table empirically visible:
+the adaptive scheme tracks the column minimum of every row.
+
+Run:
+    python examples/policy_playground.py
+"""
+
+from repro import ExperimentSystem, WritePolicy, paper_config
+from repro.analysis.report import format_table
+from repro.experiments.system import WORKLOADS
+
+
+GROUP_WORKLOADS = ("random_read", "mixed_rw", "random_write", "seq_read")
+
+
+def run_fixed(workload_name: str, policy: WritePolicy, config) -> float:
+    system = ExperimentSystem.build(workload_name, "wb", config)
+    system.controller.set_policy(policy)
+    return system.run().mean_latency
+
+
+def run_lbica(workload_name: str, config) -> float:
+    return ExperimentSystem.build(workload_name, "lbica", config).run().mean_latency
+
+
+def main() -> None:
+    config = paper_config(seed=5)
+    policies = (WritePolicy.WB, WritePolicy.WT, WritePolicy.RO, WritePolicy.WO)
+
+    matrix: dict[str, dict] = {}
+    rows = []
+    for workload_name in GROUP_WORKLOADS:
+        assert workload_name in WORKLOADS
+        print(f"running {workload_name} ...", flush=True)
+        fixed = {p: run_fixed(workload_name, p, config) for p in policies}
+        adaptive = run_lbica(workload_name, config)
+        matrix[workload_name] = {**{p.value: fixed[p] for p in policies}, "LBICA": adaptive}
+        rows.append(
+            (
+                workload_name,
+                *(f"{fixed[p]:.0f}" for p in policies),
+                f"{adaptive:.0f}",
+            )
+        )
+
+    # minimax: the worst case each column suffers across groups
+    columns = [p.value for p in policies] + ["LBICA"]
+    worst = {c: max(matrix[w][c] for w in GROUP_WORKLOADS) for c in columns}
+    rows.append(("WORST CASE", *(f"{worst[c]:.0f}" for c in columns)))
+
+    print()
+    print(
+        format_table(
+            ["workload", "WB", "WT", "RO", "WO", "LBICA"],
+            rows,
+            title="mean latency (µs) by pinned policy vs adaptive LBICA",
+        )
+    )
+    print()
+    assert worst["LBICA"] == min(worst.values()), (
+        "adaptive LBICA should have the best worst-case across groups"
+    )
+    print(
+        "Every fixed policy is catastrophic on at least one group (see the\n"
+        "WORST CASE row); adaptive LBICA is the minimax choice — the paper's\n"
+        "core argument for assigning the policy at run time (Section III-C)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Legacy setup shim.
+
+The execution environment ships a setuptools without wheel/PEP-660
+support, so editable installs go through this classic ``setup.py`` (all
+metadata lives in ``pyproject.toml``; values are duplicated here only to
+keep ``pip install -e .`` working offline).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "LBICA: A Load Balancer for I/O Cache Architectures (DATE 2019) — "
+        "full trace-driven reproduction"
+    ),
+    python_requires=">=3.11",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": ["lbica-experiments=repro.experiments.cli:main"]
+    },
+)

@@ -1,0 +1,52 @@
+"""repro — a full reproduction of *LBICA: A Load Balancer for I/O Cache
+Architectures* (Ahmadian, Salkhordeh, Asadi — DATE 2019).
+
+The package rebuilds the paper's entire stack as a trace-driven
+discrete-event simulation:
+
+- :mod:`repro.sim` — the event engine and seeded random streams;
+- :mod:`repro.io` — requests, R/W/P/E-tagged device operations, queues;
+- :mod:`repro.devices` — SSD (write-cliff) and HDD (write-cache) models;
+- :mod:`repro.cache` — an EnhanceIO-like cache with WB/WT/RO/WO policies;
+- :mod:`repro.trace` — iostat / blktrace substrates (Eq. 1, queue mixes);
+- :mod:`repro.workloads` — TPC-C / mail / web burst workloads and the
+  four synthetic characterization groups;
+- :mod:`repro.core` — **LBICA** itself (detect → characterize → balance);
+- :mod:`repro.baselines` — the WB and SIB comparison schemes;
+- :mod:`repro.analysis` — metrics, series, ASCII plots, reports;
+- :mod:`repro.experiments` — one harness per paper figure (4, 5, 6, 7)
+  plus headline numbers and ablations.
+
+Quickstart::
+
+    from repro import ExperimentSystem, paper_config
+
+    system = ExperimentSystem.build("tpcc", "lbica", paper_config())
+    result = system.run()
+    print(result.summary())
+"""
+
+from repro.config import SystemConfig, paper_config, quick_config
+from repro.cache.write_policy import WritePolicy
+from repro.core import (
+    LbicaConfig,
+    LbicaController,
+    WorkloadCharacterizer,
+    WorkloadGroup,
+)
+from repro.experiments.system import ExperimentSystem, RunResult
+
+__all__ = [
+    "SystemConfig",
+    "paper_config",
+    "quick_config",
+    "WritePolicy",
+    "WorkloadGroup",
+    "WorkloadCharacterizer",
+    "LbicaController",
+    "LbicaConfig",
+    "ExperimentSystem",
+    "RunResult",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,36 @@
+"""Analysis utilities: metrics, interval series, reports, ASCII plots.
+
+- :mod:`repro.analysis.metrics` — latency statistics (mean / percentile /
+  max) and the load-reduction computations behind the paper's headline
+  percentages.
+- :mod:`repro.analysis.series` — :class:`~repro.analysis.series.IntervalSeries`
+  containers extracted from iostat samples (the per-interval curves of
+  Figures 4–6) with CSV export.
+- :mod:`repro.analysis.report` — fixed-width comparison tables and
+  paper-vs-measured rows for EXPERIMENTS.md.
+- :mod:`repro.analysis.ascii_plot` — terminal line and bar charts (the
+  environment has no matplotlib; figures render as ASCII + CSV).
+"""
+
+from repro.analysis.ascii_plot import ascii_bar_chart, ascii_line_chart
+from repro.analysis.metrics import (
+    LatencySummary,
+    latency_summary,
+    load_reduction,
+    percentile,
+)
+from repro.analysis.report import comparison_table, format_table
+from repro.analysis.series import IntervalSeries, series_from_samples
+
+__all__ = [
+    "LatencySummary",
+    "latency_summary",
+    "percentile",
+    "load_reduction",
+    "IntervalSeries",
+    "series_from_samples",
+    "comparison_table",
+    "format_table",
+    "ascii_line_chart",
+    "ascii_bar_chart",
+]

@@ -1,0 +1,132 @@
+"""Terminal plotting: multi-series line charts and grouped bar charts.
+
+matplotlib is not available in this environment, so the experiment
+harness renders each paper figure as an ASCII chart (plus a CSV file for
+external plotting).  Charts are intentionally simple: a fixed-size
+character grid, one glyph per series, a left axis with the value range,
+and a legend.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_line_chart", "ascii_bar_chart"]
+
+_GLYPHS = "*+o#x@%&"
+
+
+def _scale(value: float, vmin: float, vmax: float, height: int) -> int:
+    if vmax <= vmin:
+        return 0
+    frac = (value - vmin) / (vmax - vmin)
+    return min(int(frac * (height - 1) + 0.5), height - 1)
+
+
+def ascii_line_chart(
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+    width: int = 100,
+    height: int = 18,
+    y_label: str = "",
+) -> str:
+    """Render aligned series as a multi-line ASCII chart.
+
+    Args:
+        series: Mapping of legend name to values (x = index).
+        title: Chart title line.
+        width: Plot width in columns (series are resampled to fit).
+        height: Plot height in rows.
+        y_label: Unit label for the y axis.
+
+    Returns:
+        The chart as a multi-line string.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    if width < 10 or height < 4:
+        raise ValueError("chart too small")
+    all_vals = [v for vals in series.values() for v in vals]
+    if not all_vals:
+        raise ValueError("series are empty")
+    vmin = 0.0
+    vmax = max(all_vals)
+    if vmax <= vmin:
+        vmax = vmin + 1.0
+    n = max(len(vals) for vals in series.values())
+    grid = [[" "] * width for _ in range(height)]
+
+    for si, (name, vals) in enumerate(series.items()):
+        glyph = _GLYPHS[si % len(_GLYPHS)]
+        if not vals:
+            continue
+        for col in range(width):
+            # resample: take the max over the bucket (preserves spikes)
+            lo = int(col * n / width)
+            hi = max(int((col + 1) * n / width), lo + 1)
+            bucket = [vals[i] for i in range(lo, min(hi, len(vals)))]
+            if not bucket:
+                continue
+            row = _scale(max(bucket), vmin, vmax, height)
+            grid[height - 1 - row][col] = glyph
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    label_w = 12
+    for ri, row in enumerate(grid):
+        if ri == 0:
+            label = f"{vmax:>10.1f} |"
+        elif ri == height - 1:
+            label = f"{vmin:>10.1f} |"
+        else:
+            label = " " * 11 + "|"
+        lines.append(label.rjust(label_w) + "".join(row))
+    lines.append(" " * (label_w - 1) + "+" + "-" * width)
+    axis = " " * label_w + f"0{' ' * (width - len(str(n)) - 1)}{n}"
+    lines.append(axis)
+    legend = "  ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * label_w + legend + (f"   [{y_label}]" if y_label else ""))
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(
+    groups: Mapping[str, Mapping[str, float]],
+    title: str = "",
+    width: int = 60,
+    y_label: str = "",
+) -> str:
+    """Render grouped bars (Fig. 7 style: workload × scheme).
+
+    Args:
+        groups: ``{group: {bar: value}}`` — e.g.
+            ``{"TPCC": {"WB": 310, "SIB": 280, "LBICA": 245}}``.
+        title: Chart title line.
+        width: Maximum bar length in characters.
+        y_label: Unit label appended to values.
+
+    Returns:
+        The chart as a multi-line string.
+    """
+    if not groups:
+        raise ValueError("no groups to plot")
+    vmax = max((v for bars in groups.values() for v in bars.values()), default=0.0)
+    if vmax <= 0:
+        vmax = 1.0
+    name_w = max(
+        (len(f"{g} {b}") for g, bars in groups.items() for b in bars), default=8
+    )
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for group, bars in groups.items():
+        for bar, value in bars.items():
+            length = int(value / vmax * width + 0.5)
+            label = f"{group} {bar}".ljust(name_w)
+            lines.append(
+                f"{label} | {'#' * length} {value:.1f}{y_label}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()

@@ -1,0 +1,180 @@
+"""Latency and load metrics.
+
+The paper reports three kinds of numbers; each has a helper here:
+
+- per-interval **max latency** curves (Figures 4–6) — computed by the
+  iostat substrate, summarized by :func:`series_stats` over windows;
+- **average latency** bars (Fig. 7) — :func:`latency_summary`;
+- **load reduction** percentages ("LBICA reduces the load on the I/O
+  cache by 48%") — :func:`load_reduction`, the relative drop in mean
+  cache queue time over a set of intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "LatencySummary",
+    "latency_summary",
+    "percentile",
+    "load_reduction",
+    "mean_over_intervals",
+    "DetectionQuality",
+    "detection_quality",
+]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0–100) of ``values`` (0.0 when empty)."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    if len(values) == 0:
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Summary statistics of a latency population (µs)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view for CSV/report writers."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.maximum,
+        }
+
+
+def latency_summary(latencies: Iterable[float]) -> LatencySummary:
+    """Summarize a latency population (all zeros when empty)."""
+    arr = np.asarray(list(latencies), dtype=np.float64)
+    if arr.size == 0:
+        return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    return LatencySummary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        p50=float(np.percentile(arr, 50)),
+        p95=float(np.percentile(arr, 95)),
+        p99=float(np.percentile(arr, 99)),
+        maximum=float(arr.max()),
+    )
+
+
+def mean_over_intervals(
+    values: Sequence[float], intervals: Sequence[int] | None = None
+) -> float:
+    """Mean of ``values`` restricted to ``intervals`` (all when ``None``)."""
+    if intervals is None:
+        subset = list(values)
+    else:
+        subset = [values[i] for i in intervals if 0 <= i < len(values)]
+    if not subset:
+        return 0.0
+    return float(np.mean(subset))
+
+
+@dataclass(frozen=True)
+class DetectionQuality:
+    """Precision/recall of burst detection against scripted windows.
+
+    A detection is a true positive when it falls inside (or within
+    ``slack`` intervals after) a scripted burst window — the detector
+    necessarily lags the burst onset by the time the queue takes to
+    build.
+    """
+
+    true_positives: int
+    false_positives: int
+    detected_windows: int
+    scripted_windows: int
+
+    @property
+    def precision(self) -> float:
+        """Fraction of detections that were real bursts (1.0 when none)."""
+        total = self.true_positives + self.false_positives
+        return self.true_positives / total if total else 1.0
+
+    @property
+    def recall(self) -> float:
+        """Fraction of scripted burst windows that were detected."""
+        if self.scripted_windows == 0:
+            return 1.0
+        return self.detected_windows / self.scripted_windows
+
+
+def detection_quality(
+    detected: Sequence[int],
+    scripted: Sequence[int],
+    slack: int = 10,
+) -> DetectionQuality:
+    """Score detected burst intervals against scripted burst intervals.
+
+    Args:
+        detected: Interval indices the detector flagged.
+        scripted: Interval indices covered by scripted burst phases.
+        slack: Detections up to this many intervals after a scripted
+            window still count (queue drain keeps Eq. 1 elevated briefly).
+    """
+    if slack < 0:
+        raise ValueError("slack must be non-negative")
+    scripted_set = set(scripted)
+    extended = set(scripted)
+    for idx in scripted:
+        extended.update(range(idx, idx + slack + 1))
+
+    tp = sum(1 for d in detected if d in extended)
+    fp = len(detected) - tp
+
+    # group scripted intervals into contiguous windows and check coverage
+    windows: list[tuple[int, int]] = []
+    for idx in sorted(scripted_set):
+        if windows and idx == windows[-1][1] + 1:
+            windows[-1] = (windows[-1][0], idx)
+        else:
+            windows.append((idx, idx))
+    detected_set = set(detected)
+    covered = sum(
+        1
+        for lo, hi in windows
+        if any(d in detected_set for d in range(lo, hi + slack + 1))
+    )
+    return DetectionQuality(
+        true_positives=tp,
+        false_positives=fp,
+        detected_windows=covered,
+        scripted_windows=len(windows),
+    )
+
+
+def load_reduction(
+    baseline: Sequence[float],
+    treated: Sequence[float],
+    intervals: Sequence[int] | None = None,
+) -> float:
+    """Relative load reduction of ``treated`` vs ``baseline`` (fraction).
+
+    ``0.48`` means the treated scheme carries 48% less load — the form of
+    the paper's headline claims.  Restricted to ``intervals`` when given
+    (the paper reports reductions over burst intervals).  Returns 0.0
+    when the baseline carries no load.
+    """
+    base = mean_over_intervals(baseline, intervals)
+    treat = mean_over_intervals(treated, intervals)
+    if base <= 0.0:
+        return 0.0
+    return (base - treat) / base

@@ -1,0 +1,62 @@
+"""Fixed-width tables and paper-vs-measured comparison rows."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "comparison_table"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render a fixed-width text table.
+
+    Cells are stringified; floats get 3 decimals.  Column widths adapt to
+    the content.
+    """
+    if not headers:
+        raise ValueError("headers required")
+
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    str_rows = [[render(c) for c in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} does not match headers {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(widths[i]) for i, c in enumerate(cells)).rstrip()
+
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def comparison_table(
+    rows: Mapping[str, tuple[str, str, str]],
+    title: str = "paper vs. measured",
+) -> str:
+    """Render ``{metric: (paper_value, measured_value, verdict)}`` rows.
+
+    The EXPERIMENTS.md generator uses this for every figure's
+    shape-comparison summary.
+    """
+    return format_table(
+        ["metric", "paper", "measured", "verdict"],
+        [(metric, *vals) for metric, vals in rows.items()],
+        title=title,
+    )

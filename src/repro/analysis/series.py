@@ -1,0 +1,111 @@
+"""Per-interval series extracted from iostat samples.
+
+An :class:`IntervalSeries` is the data behind one curve of Figures 4–6:
+a named sequence of per-interval values (cache queue time, disk queue
+time, average latency, ...).  Series support CSV export and simple
+smoothing for display.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.trace.iostat import IntervalSample
+
+__all__ = ["IntervalSeries", "series_from_samples", "write_series_csv"]
+
+#: Fields of IntervalSample that can be lifted into a series.
+_EXTRACTABLE = (
+    "cache_qtime",
+    "disk_qtime",
+    "ssd_qsize_max",
+    "ssd_qsize_avg",
+    "hdd_qsize_max",
+    "hdd_qsize_avg",
+    "avg_latency",
+    "max_latency",
+    "completed",
+    "bypassed",
+    "ssd_util",
+    "hdd_util",
+)
+
+
+@dataclass
+class IntervalSeries:
+    """One named per-interval curve."""
+
+    name: str
+    values: list[float] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __getitem__(self, idx: int) -> float:
+        return self.values[idx]
+
+    @property
+    def mean(self) -> float:
+        """Mean over all intervals (0.0 when empty)."""
+        return float(np.mean(self.values)) if self.values else 0.0
+
+    @property
+    def maximum(self) -> float:
+        """Max over all intervals (0.0 when empty)."""
+        return float(np.max(self.values)) if self.values else 0.0
+
+    def smoothed(self, window: int = 5) -> "IntervalSeries":
+        """Centered moving average (window clipped to the series length)."""
+        if window <= 1 or not self.values:
+            return IntervalSeries(self.name, list(self.values))
+        window = min(window, len(self.values))
+        kernel = np.ones(window) / window
+        sm = np.convolve(np.asarray(self.values, dtype=np.float64), kernel, "same")
+        return IntervalSeries(f"{self.name}~{window}", [float(v) for v in sm])
+
+    def restricted(self, intervals: Sequence[int]) -> "IntervalSeries":
+        """The subseries at the given interval indices (in-range only)."""
+        vals = [self.values[i] for i in intervals if 0 <= i < len(self.values)]
+        return IntervalSeries(f"{self.name}[subset]", vals)
+
+
+def series_from_samples(
+    samples: Sequence[IntervalSample], fieldname: str, name: str | None = None
+) -> IntervalSeries:
+    """Lift one field of the iostat samples into a series.
+
+    Raises:
+        ValueError: If ``fieldname`` is not an extractable sample field.
+    """
+    if fieldname not in _EXTRACTABLE:
+        raise ValueError(
+            f"unknown field {fieldname!r}; choose from {_EXTRACTABLE}"
+        )
+    values = [float(getattr(s, fieldname)) for s in samples]
+    return IntervalSeries(name or fieldname, values)
+
+
+def write_series_csv(path: str | Path, series: Sequence[IntervalSeries]) -> None:
+    """Write aligned series as CSV (``interval, <name1>, <name2>, ...``).
+
+    Shorter series are padded with empty cells.
+    """
+    series = list(series)
+    if not series:
+        raise ValueError("no series to write")
+    n = max(len(s) for s in series)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["interval"] + [s.name for s in series])
+        for i in range(n):
+            row: list[object] = [i]
+            for s in series:
+                row.append(f"{s.values[i]:.3f}" if i < len(s) else "")
+            writer.writerow(row)

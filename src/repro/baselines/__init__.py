@@ -1,0 +1,14 @@
+"""Comparison schemes from the paper's evaluation.
+
+- :mod:`repro.baselines.wb` — the plain write-back cache with no load
+  balancing ("WB" in Figures 4–7).
+- :mod:`repro.baselines.sib` — Selective I/O Bypass [Kim et al., IEEE TC
+  2018], the state-of-the-art the paper compares against: a WT/WO cache
+  that estimates per-request wait times and bypasses the costliest
+  in-queue requests, paying a per-request selection overhead.
+"""
+
+from repro.baselines.sib import SibConfig, SibController
+from repro.baselines.wb import WbBaseline
+
+__all__ = ["WbBaseline", "SibController", "SibConfig"]

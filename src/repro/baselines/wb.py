@@ -1,0 +1,32 @@
+"""The WB baseline: a write-back cache with no load balancing.
+
+This is the paper's first comparison point: EnhanceIO in plain WB mode.
+All traffic is absorbed by the cache to maximize hit ratio; nothing
+watches the queues, so during bursts the SSD queue grows without bound
+(modulo application backpressure) and the cache becomes the system's
+bottleneck — the pathology Figures 4 and 7 quantify.
+
+There is nothing to *do* for this scheme; the class exists so the
+experiment runner can treat all three schemes uniformly (construct,
+``start()``, inspect after the run).
+"""
+
+from __future__ import annotations
+
+__all__ = ["WbBaseline"]
+
+
+class WbBaseline:
+    """A no-op load balancer (plain WB cache)."""
+
+    name = "wb"
+
+    def __init__(self, sim=None, controller=None, ssd=None, hdd=None) -> None:
+        self.sim = sim
+        self.controller = controller
+
+    def start(self) -> None:
+        """No periodic activity."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "WbBaseline()"

@@ -1,0 +1,39 @@
+"""Per-block cache metadata."""
+
+from __future__ import annotations
+
+__all__ = ["CacheBlock"]
+
+
+class CacheBlock:
+    """Metadata for one cached 4-KiB block.
+
+    Attributes:
+        lba: The disk block this entry caches.
+        dirty: Whether the cached copy is newer than the disk copy
+            (write-back data awaiting a flush).
+        insert_time: Simulation time the block was (last) inserted.
+        last_access: Simulation time of the most recent hit.
+        access_count: Number of hits since insertion (LFU state).
+        ref: CLOCK reference bit.
+    """
+
+    __slots__ = ("lba", "dirty", "insert_time", "last_access", "access_count", "ref")
+
+    def __init__(self, lba: int, now: float, dirty: bool = False) -> None:
+        self.lba = lba
+        self.dirty = dirty
+        self.insert_time = now
+        self.last_access = now
+        self.access_count = 0
+        self.ref = True
+
+    def touch(self, now: float) -> None:
+        """Record a hit."""
+        self.last_access = now
+        self.access_count += 1
+        self.ref = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = "D" if self.dirty else "C"
+        return f"CacheBlock(lba={self.lba}, {flag}, hits={self.access_count})"

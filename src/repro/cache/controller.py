@@ -1,0 +1,443 @@
+"""The cache datapath: application requests -> tagged device operations.
+
+This is the EnhanceIO-equivalent module.  Every application request is
+expanded, block by block, into SSD and HDD operations carrying the
+paper's queue tags:
+
+- a read hit becomes an SSD read (``R``);
+- a read miss becomes an HDD read (``R``) plus — policy permitting — an
+  asynchronous SSD promotion write (``P``);
+- a write becomes an SSD write (``W``), an HDD write (``W``), or both,
+  depending on the active :class:`~repro.cache.write_policy.WritePolicy`;
+- evicting a dirty victim becomes an SSD read (``E``) chained to an HDD
+  write-back (``E``).
+
+The controller supports **live policy switching** (LBICA's actuator) and
+**redirection** of ops that a load balancer stole from the SSD queue
+(:meth:`CacheController.redirect_to_disk`), keeping cache metadata
+consistent when writes or promotions are diverted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.cache.store import CacheStore
+from repro.cache.write_policy import PolicyBehavior, WritePolicy, behavior_for
+from repro.devices.base import StorageDevice
+from repro.io.request import DeviceOp, OpTag, Request
+
+__all__ = ["CacheController", "CacheStats", "PolicyChange"]
+
+
+@dataclass(frozen=True)
+class PolicyChange:
+    """One policy-switch record (for the Fig. 6 timeline)."""
+
+    time: float
+    policy: WritePolicy
+    promote_on_miss: bool
+
+
+@dataclass
+class CacheStats:
+    """Lifetime counters for the cache datapath."""
+
+    requests: int = 0
+    reads: int = 0
+    writes: int = 0
+    read_hit_blocks: int = 0
+    read_miss_blocks: int = 0
+    write_blocks: int = 0
+    promotes_issued: int = 0
+    promotes_cancelled: int = 0
+    evict_flushes: int = 0
+    writes_bypassed: int = 0
+    reads_bypassed: int = 0
+    policy_switches: int = 0
+    completed: int = 0
+    total_latency: float = 0.0
+    policy_log: list[PolicyChange] = field(default_factory=list)
+
+    @property
+    def read_hit_ratio(self) -> float:
+        """Block-level read hit ratio."""
+        total = self.read_hit_blocks + self.read_miss_blocks
+        return self.read_hit_blocks / total if total else 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean application-request latency (µs)."""
+        return self.total_latency / self.completed if self.completed else 0.0
+
+
+class CacheController:
+    """Routes application I/O through the SSD cache and HDD subsystem.
+
+    Args:
+        sim: The simulator.
+        ssd: Cache-tier device.
+        hdd: Disk-subsystem device.
+        store: Cache metadata store.
+        policy: Initial write policy (the paper starts every run in WB).
+        promote_on_miss: Optional override of the policy's promotion
+            behaviour (used by SIB's WT+WO hybrid).
+    """
+
+    def __init__(
+        self,
+        sim,
+        ssd: StorageDevice,
+        hdd: StorageDevice,
+        store: CacheStore,
+        policy: WritePolicy = WritePolicy.WB,
+        promote_on_miss: Optional[bool] = None,
+    ) -> None:
+        self.sim = sim
+        self.ssd = ssd
+        self.hdd = hdd
+        self.store = store
+        self.stats = CacheStats()
+        self._completion_hooks: list[Callable[[Request], None]] = []
+        self._flushing: set[int] = set()
+        self._behavior = behavior_for(policy)
+        if promote_on_miss is not None:
+            self._behavior = self._behavior.with_promotion(promote_on_miss)
+        self.stats.policy_log.append(
+            PolicyChange(0.0, self._behavior.policy, self._behavior.promote_on_miss)
+        )
+
+    # ------------------------------------------------------------------
+    # Policy control (LBICA's actuator)
+    # ------------------------------------------------------------------
+    @property
+    def policy(self) -> WritePolicy:
+        """Currently assigned write policy."""
+        return self._behavior.policy
+
+    @property
+    def behavior(self) -> PolicyBehavior:
+        """Currently active routing behaviour."""
+        return self._behavior
+
+    def set_policy(
+        self, policy: WritePolicy, promote_on_miss: Optional[bool] = None
+    ) -> bool:
+        """Switch the write policy at run time.
+
+        Returns:
+            ``True`` if the effective behaviour actually changed.
+        """
+        behavior = behavior_for(policy)
+        if promote_on_miss is not None:
+            behavior = behavior.with_promotion(promote_on_miss)
+        if behavior == self._behavior:
+            return False
+        self._behavior = behavior
+        self.stats.policy_switches += 1
+        self.stats.policy_log.append(
+            PolicyChange(self.sim.now, behavior.policy, behavior.promote_on_miss)
+        )
+        return True
+
+    def add_completion_hook(self, fn: Callable[[Request], None]) -> None:
+        """Register ``fn(request)`` to run on every request completion."""
+        self._completion_hooks.append(fn)
+
+    # ------------------------------------------------------------------
+    # Application entry point
+    # ------------------------------------------------------------------
+    def submit(self, request: Request) -> None:
+        """Route one application request through the cache."""
+        self.stats.requests += 1
+        if request.is_write:
+            self.stats.writes += 1
+            self._do_write(request)
+        else:
+            self.stats.reads += 1
+            self._do_read(request)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def _do_read(self, request: Request) -> None:
+        now = self.sim.now
+        for lba in range(request.lba, request.end_lba):
+            block = self.store.lookup(lba, now)
+            if block is not None:
+                self.stats.read_hit_blocks += 1
+                op = DeviceOp(
+                    lba,
+                    1,
+                    is_write=False,
+                    tag=OpTag.READ,
+                    request=request,
+                    sync=True,
+                    stealable=not block.dirty,
+                    on_complete=self._sync_done,
+                )
+                request.add_wait()
+                request.served_by.add(self.ssd.name)
+                self.ssd.submit(op)
+            else:
+                self.stats.read_miss_blocks += 1
+                op = DeviceOp(
+                    lba,
+                    1,
+                    is_write=False,
+                    tag=OpTag.READ,
+                    request=request,
+                    sync=True,
+                    stealable=False,
+                    on_complete=self._miss_read_done,
+                )
+                request.add_wait()
+                request.served_by.add(self.hdd.name)
+                self.hdd.submit(op)
+
+    def _miss_read_done(self, op: DeviceOp) -> None:
+        """A miss read returned from the disk: maybe promote, then complete."""
+        if self._behavior.promote_on_miss:
+            self._promote(op.lba)
+        self._sync_done(op)
+
+    def _promote(self, lba: int) -> None:
+        """Insert ``lba`` and issue the asynchronous promotion write (P)."""
+        now = self.sim.now
+        _, eviction = self.store.insert(lba, now, dirty=False)
+        if eviction is not None and eviction.was_dirty:
+            self._flush_evicted(eviction.lba)
+        self.stats.promotes_issued += 1
+        self.ssd.submit(
+            DeviceOp(
+                lba,
+                1,
+                is_write=True,
+                tag=OpTag.PROMOTE,
+                request=None,
+                sync=False,
+                stealable=True,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def _do_write(self, request: Request) -> None:
+        now = self.sim.now
+        behavior = self._behavior
+        for lba in range(request.lba, request.end_lba):
+            self.stats.write_blocks += 1
+            if behavior.invalidate_on_write:
+                # RO: the write supersedes any cached copy; the new data
+                # goes straight to the disk.
+                self.store.invalidate(lba)
+                self.stats.writes_bypassed += 1
+                op = DeviceOp(
+                    lba,
+                    1,
+                    is_write=True,
+                    tag=OpTag.WRITE,
+                    request=request,
+                    sync=True,
+                    stealable=False,
+                    on_complete=self._sync_done,
+                )
+                request.add_wait()
+                request.served_by.add(self.hdd.name)
+                self.hdd.submit(op)
+                continue
+
+            if behavior.cache_writes:
+                _, eviction = self.store.insert(
+                    lba, now, dirty=behavior.writes_dirty
+                )
+                if eviction is not None and eviction.was_dirty:
+                    self._flush_evicted(eviction.lba)
+                op = DeviceOp(
+                    lba,
+                    1,
+                    is_write=True,
+                    tag=OpTag.WRITE,
+                    request=request,
+                    sync=True,
+                    stealable=True,
+                    on_complete=self._sync_done,
+                )
+                request.add_wait()
+                request.served_by.add(self.ssd.name)
+                self.ssd.submit(op)
+
+            if behavior.writes_through:
+                op = DeviceOp(
+                    lba,
+                    1,
+                    is_write=True,
+                    tag=OpTag.WRITE,
+                    request=request,
+                    sync=True,
+                    stealable=False,
+                    on_complete=self._sync_done,
+                )
+                request.add_wait()
+                request.served_by.add(self.hdd.name)
+                self.hdd.submit(op)
+
+    # ------------------------------------------------------------------
+    # Eviction write-back (E traffic)
+    # ------------------------------------------------------------------
+    def _flush_evicted(self, lba: int) -> None:
+        """Flush a dirty victim: SSD evict-read (E) then HDD write-back (E)."""
+        self.stats.evict_flushes += 1
+        self.ssd.submit(
+            DeviceOp(
+                lba,
+                1,
+                is_write=False,
+                tag=OpTag.EVICT,
+                request=None,
+                sync=False,
+                stealable=False,
+                on_complete=self._evict_read_done,
+            )
+        )
+
+    def _evict_read_done(self, op: DeviceOp) -> None:
+        self.hdd.submit(
+            DeviceOp(
+                op.lba,
+                op.nblocks,
+                is_write=True,
+                tag=OpTag.EVICT,
+                request=None,
+                sync=False,
+                stealable=False,
+            )
+        )
+
+    def flush_block(self, lba: int) -> bool:
+        """Flush one resident dirty block in place (background write-back).
+
+        Returns:
+            ``True`` if a flush was started.
+        """
+        block = self.store.peek(lba)
+        if block is None or not block.dirty or lba in self._flushing:
+            return False
+        self._flushing.add(lba)
+        self.stats.evict_flushes += 1
+        self.ssd.submit(
+            DeviceOp(
+                lba,
+                1,
+                is_write=False,
+                tag=OpTag.EVICT,
+                request=None,
+                sync=False,
+                stealable=False,
+                on_complete=self._bg_flush_read_done,
+            )
+        )
+        return True
+
+    def _bg_flush_read_done(self, op: DeviceOp) -> None:
+        self.hdd.submit(
+            DeviceOp(
+                op.lba,
+                op.nblocks,
+                is_write=True,
+                tag=OpTag.EVICT,
+                request=None,
+                sync=False,
+                stealable=False,
+                on_complete=self._bg_flush_write_done,
+            )
+        )
+
+    def _bg_flush_write_done(self, op: DeviceOp) -> None:
+        for lba in range(op.lba, op.end_lba):
+            self.store.mark_clean(lba)
+            self._flushing.discard(lba)
+
+    # ------------------------------------------------------------------
+    # Bypass support (used by LBICA's balancer and by SIB)
+    # ------------------------------------------------------------------
+    def op_redirectable(self, op: DeviceOp) -> bool:
+        """Whether a pending SSD op may be redirected to the disk.
+
+        Application writes and promotions are always redirectable;
+        application reads only while every block they cover is clean (a
+        dirty block's only valid copy lives on the SSD).  Evict reads are
+        never redirectable.
+        """
+        if op.tag is OpTag.WRITE or op.tag is OpTag.PROMOTE:
+            return True
+        if op.tag is OpTag.READ:
+            for lba in range(op.lba, op.end_lba):
+                block = self.store.peek(lba)
+                if block is not None and block.dirty:
+                    return False
+            return True
+        return False
+
+    def redirect_to_disk(self, op: DeviceOp) -> None:
+        """Re-route an op stolen from the SSD queue to the disk subsystem.
+
+        - ``W``: the write is served by the HDD; any cache copy covering
+          the range is invalidated (it was never written to the SSD).
+          Under a write-through policy the HDD mirror op is already in
+          flight, so the SSD leg is simply cancelled and its completion
+          charged immediately (this is SIB's bypass path).
+        - ``R``: the read is served by the HDD (blocks are clean).
+        - ``P``: the promotion is simply cancelled (nobody waits on it)
+          and the speculative metadata insertion undone.
+        """
+        if op.tag is OpTag.PROMOTE:
+            self.stats.promotes_cancelled += 1 + len(op.merged)
+            for child in (op, *op.merged):
+                for lba in range(child.lba, child.end_lba):
+                    self.store.invalidate(lba)
+            return
+        if op.tag is OpTag.WRITE:
+            self.stats.writes_bypassed += 1 + len(op.merged)
+            for child in (op, *op.merged):
+                for lba in range(child.lba, child.end_lba):
+                    self.store.invalidate(lba)
+                if child.request is not None:
+                    child.request.bypassed = True
+                    child.request.served_by.add(self.hdd.name)
+            if self._behavior.writes_through:
+                # The disk copy is already being written by the mirror op;
+                # dropping the SSD leg completes it for free.
+                for child in (op, *op.merged):
+                    self._sync_done(child)
+                return
+        elif op.tag is OpTag.READ:
+            self.stats.reads_bypassed += 1 + len(op.merged)
+            for child in (op, *op.merged):
+                if child.request is not None:
+                    child.request.bypassed = True
+                    child.request.served_by.add(self.hdd.name)
+        else:  # pragma: no cover - filtered out by op_redirectable
+            raise ValueError(f"cannot redirect {op.tag} op")
+        self.hdd.submit(op)
+
+    # ------------------------------------------------------------------
+    # Completion plumbing
+    # ------------------------------------------------------------------
+    def _sync_done(self, op: DeviceOp) -> None:
+        request = op.request
+        if request is None or not op.sync:
+            return
+        if request.op_done(self.sim.now):
+            self.stats.completed += 1
+            self.stats.total_latency += request.latency
+            for hook in self._completion_hooks:
+                hook(request)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CacheController(policy={self.policy}, "
+            f"hit={self.stats.read_hit_ratio:.2%})"
+        )

@@ -1,0 +1,106 @@
+"""Cache write policies (Section III-C of the paper).
+
+LBICA's actuator is the ability to switch the cache among four write
+policies at run time:
+
+========  ==========================  ===========================  ==============
+Policy    Application write           Read miss                    Read hit
+========  ==========================  ===========================  ==============
+``WB``    SSD only, marked dirty      HDD read, then promote (P)   SSD read
+``WT``    SSD **and** HDD, clean      HDD read, then promote (P)   SSD read
+``RO``    HDD only (cache bypassed,   HDD read, then promote (P)   SSD read
+          stale copy invalidated)
+``WO``    SSD only, marked dirty      HDD read, **no promotion**   SSD read
+========  ==========================  ===========================  ==============
+
+:class:`PolicyBehavior` encodes those rows as data so the controller's
+datapath is policy-agnostic, and so SIB's WT+WO hybrid (writes
+write-through, reads never promoted) can be expressed by overriding
+``promote_on_miss``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+
+__all__ = ["WritePolicy", "PolicyBehavior", "behavior_for"]
+
+
+class WritePolicy(str, Enum):
+    """The four write policies the paper assigns."""
+
+    WB = "WB"  #: write-back: everything cached, flush later
+    WT = "WT"  #: write-through: writes mirrored to the disk
+    RO = "RO"  #: read-only cache: writes bypass to the disk
+    WO = "WO"  #: write-only-ish: writes cached, read misses not promoted
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class PolicyBehavior:
+    """Routing semantics of a write policy.
+
+    Attributes:
+        policy: The policy this behaviour realizes.
+        cache_writes: Write data is stored in the cache (SSD write, tag W).
+        writes_through: Write data is also sent to the disk synchronously.
+        writes_dirty: Cached write data is marked dirty (needs eviction
+            flushes later — the source of ``E`` traffic).
+        invalidate_on_write: A write drops any stale cached copy (RO).
+        promote_on_miss: A read miss is promoted into the cache (tag P).
+    """
+
+    policy: WritePolicy
+    cache_writes: bool
+    writes_through: bool
+    writes_dirty: bool
+    invalidate_on_write: bool
+    promote_on_miss: bool
+
+    def with_promotion(self, promote: bool) -> "PolicyBehavior":
+        """A copy with ``promote_on_miss`` overridden (SIB's WT+WO mode)."""
+        return replace(self, promote_on_miss=promote)
+
+
+_BEHAVIORS: dict[WritePolicy, PolicyBehavior] = {
+    WritePolicy.WB: PolicyBehavior(
+        policy=WritePolicy.WB,
+        cache_writes=True,
+        writes_through=False,
+        writes_dirty=True,
+        invalidate_on_write=False,
+        promote_on_miss=True,
+    ),
+    WritePolicy.WT: PolicyBehavior(
+        policy=WritePolicy.WT,
+        cache_writes=True,
+        writes_through=True,
+        writes_dirty=False,
+        invalidate_on_write=False,
+        promote_on_miss=True,
+    ),
+    WritePolicy.RO: PolicyBehavior(
+        policy=WritePolicy.RO,
+        cache_writes=False,
+        writes_through=True,
+        writes_dirty=False,
+        invalidate_on_write=True,
+        promote_on_miss=True,
+    ),
+    WritePolicy.WO: PolicyBehavior(
+        policy=WritePolicy.WO,
+        cache_writes=True,
+        writes_through=False,
+        writes_dirty=True,
+        invalidate_on_write=False,
+        promote_on_miss=False,
+    ),
+}
+
+
+def behavior_for(policy: WritePolicy) -> PolicyBehavior:
+    """The routing semantics of ``policy``."""
+    return _BEHAVIORS[policy]

@@ -1,0 +1,99 @@
+"""Group-3 tail bypass (Section III-C, rule 3).
+
+For write-intensive bursts LBICA keeps the WB policy but sheds the part
+of the SSD queue that sits *beyond the bottleneck threshold*: requests
+whose estimated queue position would make them wait longer than the disk
+subsystem's current queue time are redirected to the disk, where they
+complete sooner.  The head of the queue — everything below the threshold
+— keeps full cache performance.
+
+Unlike SIB, no per-request latency estimation pass is needed: the
+threshold position follows directly from Eq. 1 quantities
+(``disk_Qtime / ssdLatency``), and only the tail beyond it is touched.
+That positional selection is what eliminates SIB's per-request selection
+overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.controller import CacheController
+from repro.devices.base import StorageDevice
+
+__all__ = ["TailBypassBalancer", "BypassEvent"]
+
+
+@dataclass(frozen=True)
+class BypassEvent:
+    """One rebalancing action (for logs and tests)."""
+
+    time: float
+    threshold_ops: int
+    candidates: int
+    bypassed: int
+
+
+class TailBypassBalancer:
+    """Moves the over-threshold SSD queue tail to the disk subsystem.
+
+    Args:
+        controller: The cache datapath (performs the actual redirection
+            and keeps metadata consistent).
+        ssd: The cache device whose queue is trimmed.
+        hdd: The disk device receiving bypassed requests.
+        max_bypass_per_round: Safety bound on ops moved per invocation.
+    """
+
+    def __init__(
+        self,
+        controller: CacheController,
+        ssd: StorageDevice,
+        hdd: StorageDevice,
+        max_bypass_per_round: int = 64,
+    ) -> None:
+        if max_bypass_per_round <= 0:
+            raise ValueError("max_bypass_per_round must be positive")
+        self.controller = controller
+        self.ssd = ssd
+        self.hdd = hdd
+        self.max_bypass_per_round = max_bypass_per_round
+        self.events: list[BypassEvent] = []
+
+    def threshold_ops(self) -> int:
+        """Queue positions the SSD can serve within the disk's queue time.
+
+        An op at position ``k`` waits ≈ ``k × ssdLatency``; positions
+        beyond ``disk_Qtime / ssdLatency`` would be served faster by the
+        disk subsystem, so they are bypass candidates.
+        """
+        ssd_lat = max(self.ssd.avg_latency, 1e-9)
+        return max(int(self.hdd.queue_time() / ssd_lat), 1)
+
+    def rebalance(self, now: float) -> BypassEvent:
+        """Bypass the tail beyond the threshold; returns the action record."""
+        threshold = self.threshold_ops()
+        pending = len(self.ssd.queue.pending)
+        candidates = max(pending - threshold, 0)
+        to_move = min(candidates, self.max_bypass_per_round)
+        stolen = self.ssd.queue.steal_tail(
+            to_move, now, predicate=self.controller.op_redirectable
+        )
+        for op in stolen:
+            self.controller.redirect_to_disk(op)
+        event = BypassEvent(
+            time=now,
+            threshold_ops=threshold,
+            candidates=candidates,
+            bypassed=len(stolen),
+        )
+        self.events.append(event)
+        return event
+
+    @property
+    def total_bypassed(self) -> int:
+        """Ops moved to the disk over the balancer's lifetime."""
+        return sum(e.bypassed for e in self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TailBypassBalancer(events={len(self.events)}, moved={self.total_bypassed})"

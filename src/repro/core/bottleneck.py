@@ -1,0 +1,83 @@
+"""Bottleneck detection (Section III-A, Eq. 1).
+
+LBICA flags the I/O cache as the performance bottleneck when the maximum
+queue time of the cache exceeds that of the disk subsystem:
+
+    ``cache_Qtime = ssdQSize × ssdLatency``
+    ``disk_Qtime  = hddQSize × hddLatency``
+
+The detector adds two practical knobs the paper implies but does not
+spell out:
+
+- ``margin`` — the cache queue time must exceed the disk's by this factor
+  (1.0 reproduces the paper's strict inequality);
+- ``min_cache_qtime_us`` — an absolute floor so that a near-idle system
+  (three requests vs. two) is not declared a burst.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BottleneckReading", "BottleneckDetector"]
+
+
+@dataclass(frozen=True)
+class BottleneckReading:
+    """One detector evaluation."""
+
+    time: float
+    cache_qtime: float
+    disk_qtime: float
+    is_bottleneck: bool
+
+    @property
+    def imbalance(self) -> float:
+        """``cache_Qtime / disk_Qtime`` (∞-safe: 0 disk time → large)."""
+        if self.disk_qtime <= 0.0:
+            return float("inf") if self.cache_qtime > 0 else 1.0
+        return self.cache_qtime / self.disk_qtime
+
+
+class BottleneckDetector:
+    """Eq. 1 burst detector with margin and floor.
+
+    Args:
+        margin: Required ratio ``cache_Qtime / disk_Qtime`` (≥ 1.0).
+        min_cache_qtime_us: Absolute cache-queue-time floor below which
+            no burst is ever declared.
+    """
+
+    def __init__(self, margin: float = 1.0, min_cache_qtime_us: float = 2000.0) -> None:
+        if margin < 1.0:
+            raise ValueError("margin must be >= 1.0")
+        if min_cache_qtime_us < 0.0:
+            raise ValueError("min_cache_qtime_us must be non-negative")
+        self.margin = margin
+        self.min_cache_qtime_us = min_cache_qtime_us
+        self.readings: list[BottleneckReading] = []
+
+    def evaluate(
+        self, time: float, cache_qtime: float, disk_qtime: float
+    ) -> BottleneckReading:
+        """Evaluate Eq. 1 at ``time`` and log the reading."""
+        if cache_qtime < 0 or disk_qtime < 0:
+            raise ValueError("queue times must be non-negative")
+        is_bottleneck = (
+            cache_qtime >= self.min_cache_qtime_us
+            and cache_qtime > disk_qtime * self.margin
+        )
+        reading = BottleneckReading(time, cache_qtime, disk_qtime, is_bottleneck)
+        self.readings.append(reading)
+        return reading
+
+    @property
+    def burst_count(self) -> int:
+        """Number of readings that flagged the cache as bottleneck."""
+        return sum(1 for r in self.readings if r.is_bottleneck)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BottleneckDetector(margin={self.margin}, "
+            f"readings={len(self.readings)}, bursts={self.burst_count})"
+        )

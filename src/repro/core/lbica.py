@@ -1,0 +1,259 @@
+"""The LBICA controller: the periodic detect → characterize → balance loop.
+
+Ties the three procedures of Fig. 2 together on the simulator:
+
+1. every ``decision_interval_us``, read the live Eq. 1 queue times off
+   the devices (the iostat substrate);
+2. when the cache is the bottleneck, snapshot the SSD queue's R/W/P/E
+   mix (the blktrace substrate) and classify it into a workload group;
+3. assign the group's write policy, and for Group 3 run the tail-bypass
+   balancer.
+
+Every evaluation is logged as an :class:`LbicaDecision`; the Fig. 6
+experiment renders this log directly (burst markers, detected groups,
+policy annotations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cache.controller import CacheController
+from repro.cache.write_policy import WritePolicy
+from repro.core.balancer import TailBypassBalancer
+from repro.core.bottleneck import BottleneckDetector
+from repro.core.characterization import (
+    CharacterizerConfig,
+    QueueMix,
+    WorkloadCharacterizer,
+    WorkloadGroup,
+)
+from repro.core.policy_table import PolicyAction, default_policy_table
+from repro.devices.base import StorageDevice
+from repro.io.request import OpTag
+from repro.trace.blktrace import BlkTracer
+
+__all__ = ["LbicaConfig", "LbicaDecision", "LbicaController"]
+
+
+@dataclass
+class LbicaConfig:
+    """LBICA tuning.
+
+    Attributes:
+        decision_interval_us: Period of the control loop (the paper runs
+            it at the monitoring interval).
+        margin: Bottleneck margin for Eq. 1 (see
+            :class:`~repro.core.bottleneck.BottleneckDetector`).
+        min_cache_qtime_us: Absolute burst floor.
+        characterizer: Classifier thresholds.
+        max_bypass_per_round: Group-3 tail-bypass bound per tick.
+        revert_after_quiet: If set, restore WB after this many consecutive
+            non-burst evaluations (the paper keeps the assigned policy;
+            this knob exists for the ablation study).
+        confirm_ticks: A policy is assigned only after the same group has
+            been classified on this many consecutive burst evaluations —
+            hysteresis against one noisy queue snapshot flapping the
+            policy.  Because an unaddressed bottleneck keeps re-detecting
+            every interval, confirmation delays a real assignment by at
+            most ``confirm_ticks - 1`` intervals.
+        require_rising: Only change policy while the cache queue time is
+            still *growing*.  After a policy switch the old queue drains
+            for several intervals; during that drain the arrival mix
+            reflects the new policy's routing (e.g. only reads reach the
+            cache under RO) and would otherwise be misread as a new
+            workload.  A shrinking bottleneck needs no rebalancing.
+            Group-3 tail bypass is exempt: it is per-tick relief, not a
+            policy change.
+        use_window_mix: Characterize from the interval-accumulated queue
+            mix (robust) instead of the instantaneous snapshot.
+    """
+
+    decision_interval_us: float = 50_000.0
+    margin: float = 1.0
+    min_cache_qtime_us: float = 80_000.0
+    characterizer: CharacterizerConfig = field(default_factory=CharacterizerConfig)
+    max_bypass_per_round: int = 64
+    revert_after_quiet: Optional[int] = None
+    confirm_ticks: int = 2
+    require_rising: bool = True
+    use_window_mix: bool = True
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on inconsistent parameters."""
+        if self.decision_interval_us <= 0:
+            raise ValueError("decision_interval_us must be positive")
+        if self.revert_after_quiet is not None and self.revert_after_quiet <= 0:
+            raise ValueError("revert_after_quiet must be positive when set")
+        if self.confirm_ticks < 1:
+            raise ValueError("confirm_ticks must be >= 1")
+        self.characterizer.validate()
+
+
+@dataclass(frozen=True)
+class LbicaDecision:
+    """One control-loop evaluation (one row of the Fig. 6 timeline)."""
+
+    time: float
+    interval_index: int
+    cache_qtime: float
+    disk_qtime: float
+    burst: bool
+    mix: dict
+    group: Optional[WorkloadGroup]
+    policy_assigned: Optional[WritePolicy]
+    policy_active: WritePolicy
+    bypassed: int
+
+
+class LbicaController:
+    """Runs LBICA's control loop on a simulated system."""
+
+    def __init__(
+        self,
+        sim,
+        controller: CacheController,
+        ssd: StorageDevice,
+        hdd: StorageDevice,
+        tracer: BlkTracer,
+        config: LbicaConfig | None = None,
+    ) -> None:
+        self.sim = sim
+        self.controller = controller
+        self.ssd = ssd
+        self.hdd = hdd
+        self.tracer = tracer
+        self.config = config or LbicaConfig()
+        self.config.validate()
+        self.detector = BottleneckDetector(
+            margin=self.config.margin,
+            min_cache_qtime_us=self.config.min_cache_qtime_us,
+        )
+        self.characterizer = WorkloadCharacterizer(self.config.characterizer)
+        self.policy_table: dict[WorkloadGroup, PolicyAction] = default_policy_table()
+        self.balancer = TailBypassBalancer(
+            controller, ssd, hdd, max_bypass_per_round=self.config.max_bypass_per_round
+        )
+        self.decisions: list[LbicaDecision] = []
+        self._quiet_streak = 0
+        self._tick_count = 0
+        self._group_streak: tuple[Optional[WorkloadGroup], int] = (None, 0)
+        self._prev_ssd_qsize = 0
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin the periodic control loop (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self.sim.schedule(self.config.decision_interval_us, self._tick)
+
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        now = self.sim.now
+        index = self._tick_count
+        self._tick_count += 1
+
+        cache_qtime = self.ssd.queue_time()
+        disk_qtime = self.hdd.queue_time()
+        reading = self.detector.evaluate(now, cache_qtime, disk_qtime)
+
+        group: Optional[WorkloadGroup] = None
+        assigned: Optional[WritePolicy] = None
+        bypassed = 0
+        mix_dict: dict = {}
+
+        # Drain the per-interval arrival windows every tick so a burst is
+        # always characterized from the *last interval's* traffic, never
+        # from a stale multi-interval accumulation.  Application reads and
+        # writes are counted wherever they were served (a write bypassed
+        # to the disk under RO is still workload write traffic); the
+        # cache-internal promote/evict tags exist only on the SSD side.
+        window = None
+        if self.config.use_window_mix:
+            window = self.tracer.take_window_counts(self.ssd.name)
+            hdd_window = self.tracer.take_window_counts(self.hdd.name)
+            window[OpTag.READ] += hdd_window.get(OpTag.READ, 0)
+            window[OpTag.WRITE] += hdd_window.get(OpTag.WRITE, 0)
+
+        if reading.is_bottleneck:
+            self._quiet_streak = 0
+            counts = window
+            if not counts:
+                counts = self.tracer.queue_snapshot(self.ssd.name)
+            mix = QueueMix.from_counts(counts)
+            mix_dict = mix.as_dict()
+            group = self.characterizer.classify(mix)
+            action = self.policy_table[group]
+            # "Rising" is judged on queue *length*: queue time also moves
+            # with the service-latency EWMA, which keeps climbing while a
+            # drained queue's slow writes retire.
+            rising = (
+                not self.config.require_rising
+                or self.ssd.qsize > self._prev_ssd_qsize
+            )
+            prev_group, streak = self._group_streak
+            if rising and group is not WorkloadGroup.UNKNOWN:
+                # Confirmation only accumulates while the bottleneck is
+                # still growing; drain-phase readings are ignored.
+                streak = streak + 1 if group == prev_group else 1
+                self._group_streak = (group, streak)
+            if (
+                action.policy is not None
+                and rising
+                and streak >= self.config.confirm_ticks
+            ):
+                if self.controller.set_policy(action.policy):
+                    assigned = action.policy
+            if action.tail_bypass:
+                bypassed = self.balancer.rebalance(now).bypassed
+        else:
+            self._quiet_streak += 1
+            revert = self.config.revert_after_quiet
+            if (
+                revert is not None
+                and self._quiet_streak >= revert
+                and self.controller.policy is not WritePolicy.WB
+            ):
+                self.controller.set_policy(WritePolicy.WB)
+                assigned = WritePolicy.WB
+
+        self._prev_ssd_qsize = self.ssd.qsize
+        self.decisions.append(
+            LbicaDecision(
+                time=now,
+                interval_index=index,
+                cache_qtime=cache_qtime,
+                disk_qtime=disk_qtime,
+                burst=reading.is_bottleneck,
+                mix=mix_dict,
+                group=group,
+                policy_assigned=assigned,
+                policy_active=self.controller.policy,
+                bypassed=bypassed,
+            )
+        )
+        self.sim.schedule(self.config.decision_interval_us, self._tick)
+
+    # ------------------------------------------------------------------
+    @property
+    def burst_intervals(self) -> list[int]:
+        """Interval indices where a burst was detected."""
+        return [d.interval_index for d in self.decisions if d.burst]
+
+    @property
+    def policy_timeline(self) -> list[tuple[int, WritePolicy]]:
+        """(interval, policy) pairs at each assignment (Fig. 6 annotations)."""
+        return [
+            (d.interval_index, d.policy_assigned)
+            for d in self.decisions
+            if d.policy_assigned is not None
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LbicaController(decisions={len(self.decisions)}, "
+            f"bursts={len(self.burst_intervals)})"
+        )

@@ -1,0 +1,75 @@
+"""The group → write-policy decision table (Section III-C).
+
+========================  ==========  ===========================
+Group                     Policy      Extra action
+========================  ==========  ===========================
+1 — random read           **WO**      stop promoting read misses
+2 — mixed read-write      **RO**      writes bypass to the disk
+3 — write-intensive       **WB**      bypass the SSD queue tail
+4 — sequential read       **WB**      nothing (disk serves the scan)
+unknown                   (keep)      nothing
+========================  ==========  ===========================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cache.write_policy import WritePolicy
+from repro.core.characterization import WorkloadGroup
+
+__all__ = ["PolicyAction", "default_policy_table"]
+
+
+@dataclass(frozen=True)
+class PolicyAction:
+    """What LBICA does for one workload group.
+
+    Attributes:
+        policy: Write policy to assign, or ``None`` to keep the current
+            one (UNKNOWN group).
+        tail_bypass: Whether to bypass the over-threshold tail of the SSD
+            queue to the disk subsystem (Group 3).
+        note: Short rationale string (from the paper) for logs/reports.
+    """
+
+    policy: Optional[WritePolicy]
+    tail_bypass: bool
+    note: str
+
+
+def default_policy_table() -> dict[WorkloadGroup, PolicyAction]:
+    """The paper's Section III-C assignment."""
+    return {
+        WorkloadGroup.RANDOM_READ: PolicyAction(
+            WritePolicy.WO,
+            tail_bypass=False,
+            note="serve hits from cache; stop promoting read misses",
+        ),
+        WorkloadGroup.MIXED_RW: PolicyAction(
+            WritePolicy.RO,
+            tail_bypass=False,
+            note="reads keep cache service; writes bypass to disk",
+        ),
+        WorkloadGroup.RANDOM_WRITE: PolicyAction(
+            WritePolicy.WB,
+            tail_bypass=True,
+            note="keep WB for head of queue; bypass over-threshold tail",
+        ),
+        WorkloadGroup.SEQUENTIAL_WRITE: PolicyAction(
+            WritePolicy.WB,
+            tail_bypass=True,
+            note="keep WB for head of queue; bypass over-threshold tail",
+        ),
+        WorkloadGroup.SEQUENTIAL_READ: PolicyAction(
+            WritePolicy.WB,
+            tail_bypass=False,
+            note="disk serves the scan; cache never bottlenecks",
+        ),
+        WorkloadGroup.UNKNOWN: PolicyAction(
+            None,
+            tail_bypass=False,
+            note="unrecognized mix; keep current policy",
+        ),
+    }

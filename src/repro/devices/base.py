@@ -1,0 +1,201 @@
+"""The device server loop: queue -> model -> completion.
+
+A :class:`StorageDevice` owns a :class:`~repro.io.device_queue.DeviceQueue`
+and dispatches up to ``depth`` operations concurrently, asking its service
+model for the duration of each.  It also maintains the per-direction
+exponentially-weighted latency estimates that our iostat substrate reports
+as the device's service time (``svctm``) — the ``ssdLatency`` /
+``hddLatency`` terms of the paper's Eq. 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Protocol
+
+from repro.io.device_queue import DeviceQueue
+from repro.io.request import DeviceOp
+
+__all__ = ["ServiceModel", "StorageDevice", "DeviceStats"]
+
+
+class ServiceModel(Protocol):
+    """Anything that can price a device operation."""
+
+    #: Nominal average latency (µs), used before any measurement exists.
+    nominal_read_us: float
+    nominal_write_us: float
+
+    def service_time(self, op: DeviceOp, now: float) -> float:
+        """Service duration (µs) for ``op`` starting at ``now``."""
+        ...
+
+
+@dataclass
+class DeviceStats:
+    """Lifetime counters for one device."""
+
+    reads: int = 0
+    writes: int = 0
+    blocks_read: int = 0
+    blocks_written: int = 0
+    busy_time: float = 0.0
+    total_service_time: float = 0.0
+    completions_by_tag: dict = field(default_factory=dict)
+
+    def record(self, op: DeviceOp, service: float) -> None:
+        """Account one completed operation."""
+        if op.is_write:
+            self.writes += 1
+            self.blocks_written += op.nblocks
+        else:
+            self.reads += 1
+            self.blocks_read += op.nblocks
+        self.total_service_time += service
+        tag = op.tag.value
+        self.completions_by_tag[tag] = self.completions_by_tag.get(tag, 0) + 1
+
+    @property
+    def total_ops(self) -> int:
+        """Completed operation count."""
+        return self.reads + self.writes
+
+    @property
+    def mean_service_time(self) -> float:
+        """Average measured service time (µs) over all completions."""
+        return self.total_service_time / self.total_ops if self.total_ops else 0.0
+
+
+class StorageDevice:
+    """A storage device: a queue served by a latency model.
+
+    Args:
+        sim: The simulator driving completions.
+        name: Device name (``"ssd"`` / ``"hdd"``) used in traces.
+        model: Service-time model.
+        depth: Number of operations serviced concurrently (internal
+            parallelism / NCQ).
+        queue: Optional pre-built queue (a default is created otherwise).
+        ewma_alpha: Weight of the newest sample in the latency estimate.
+    """
+
+    def __init__(
+        self,
+        sim,
+        name: str,
+        model: ServiceModel,
+        depth: int = 1,
+        queue: Optional[DeviceQueue] = None,
+        ewma_alpha: float = 0.1,
+    ) -> None:
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        self.sim = sim
+        self.name = name
+        self.model = model
+        self.depth = depth
+        self.queue = queue if queue is not None else DeviceQueue(name)
+        self.stats = DeviceStats()
+        self._ewma_alpha = ewma_alpha
+        self._lat_read = model.nominal_read_us
+        self._lat_write = model.nominal_write_us
+        self._paused_until = 0.0
+        self._observers: list[Callable[[DeviceOp, str], None]] = []
+
+    # ------------------------------------------------------------------
+    # Submission / dispatch
+    # ------------------------------------------------------------------
+    def submit(self, op: DeviceOp) -> None:
+        """Enqueue an operation and kick the dispatcher."""
+        merged = self.queue.push(op, self.sim.now)
+        self._notify(op, "queue")
+        if not merged:
+            self._dispatch()
+
+    def _dispatch(self) -> None:
+        now = self.sim.now
+        if now < self._paused_until:
+            return
+        while len(self.queue.inflight) < self.depth:
+            op = self.queue.pop_next(now)
+            if op is None:
+                return
+            service = self.model.service_time(op, now)
+            if service < 0:
+                raise ValueError(f"{self.name}: negative service time {service}")
+            self.stats.busy_time += service
+            self._notify(op, "issue")
+            self.sim.schedule(service, self._complete, op, service)
+
+    def _complete(self, op: DeviceOp, service: float) -> None:
+        now = self.sim.now
+        self.queue.complete(op, now)
+        self.stats.record(op, service)
+        self._update_latency(op, service)
+        self._notify(op, "complete")
+        for child in (op, *op.merged):
+            if child.on_complete is not None:
+                child.on_complete(child)
+        self._dispatch()
+
+    # ------------------------------------------------------------------
+    # Pausing (models controller overhead, e.g. SIB's selection scans)
+    # ------------------------------------------------------------------
+    def pause_dispatch(self, duration: float) -> None:
+        """Stall dispatch for ``duration`` µs (in-flight ops still finish)."""
+        if duration <= 0:
+            return
+        until = self.sim.now + duration
+        if until > self._paused_until:
+            self._paused_until = until
+            self.sim.schedule_at(until, self._dispatch)
+
+    # ------------------------------------------------------------------
+    # Latency estimates (Eq. 1 inputs)
+    # ------------------------------------------------------------------
+    def _update_latency(self, op: DeviceOp, service: float) -> None:
+        a = self._ewma_alpha
+        if op.is_write:
+            self._lat_write = (1 - a) * self._lat_write + a * service
+        else:
+            self._lat_read = (1 - a) * self._lat_read + a * service
+
+    @property
+    def read_latency(self) -> float:
+        """EWMA-estimated read service time (µs)."""
+        return self._lat_read
+
+    @property
+    def write_latency(self) -> float:
+        """EWMA-estimated write service time (µs)."""
+        return self._lat_write
+
+    @property
+    def avg_latency(self) -> float:
+        """Blended service-time estimate — the Eq. 1 latency term (µs)."""
+        return (self._lat_read + self._lat_write) / 2.0
+
+    @property
+    def qsize(self) -> int:
+        """Current queue depth (pending + in-flight)."""
+        return self.queue.qsize
+
+    def queue_time(self) -> float:
+        """Eq. 1: ``qsize × avg_latency`` — the device's max queue time."""
+        return self.qsize * self.avg_latency
+
+    # ------------------------------------------------------------------
+    # Observation (blktrace hooks)
+    # ------------------------------------------------------------------
+    def add_observer(self, fn: Callable[[DeviceOp, str], None]) -> None:
+        """Register a callback invoked as ``fn(op, action)`` for every
+        ``queue`` / ``issue`` / ``complete`` transition (blktrace's Q/D/C).
+        """
+        self._observers.append(fn)
+
+    def _notify(self, op: DeviceOp, action: str) -> None:
+        for fn in self._observers:
+            fn(op, action)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StorageDevice({self.name!r}, qsize={self.qsize})"

@@ -1,0 +1,138 @@
+"""HDD ("disk subsystem") service-time model.
+
+Three mechanical behaviours matter for the paper's load-balancing story:
+
+1. **Random reads are expensive** — a full seek plus half a rotation,
+   milliseconds per operation.  This is why a cache miss storm cannot be
+   dumped wholesale on the disk (the flaw LBICA attributes to naive
+   bypassing).
+2. **Sequential streaks are cheap** — once the head is positioned,
+   successive contiguous blocks cost only transfer time.  This is why
+   Group 4 (sequential read) needs no balancing: the disk serves the
+   stream natively.
+3. **Writes hit the drive's volatile write cache** — enterprise drives
+   acknowledge writes once they are in the on-board cache, at near-
+   electronic latency, as long as the cache has room; the drive destages
+   in the background.  This makes bypassed writes (LBICA's RO policy,
+   Group 3 tail bypass, SIB's redirections) genuinely cheaper on the disk
+   than waiting in a saturated SSD queue — and it is also why SIB's
+   write-through design keeps the disk loaded at all times.
+
+The write cache is modelled as a token pool of ``write_cache_slots``
+entries draining at ``destage_us`` per entry; when the pool is exhausted a
+write pays the full mechanical cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.io.request import DeviceOp
+
+__all__ = ["HddConfig", "HddModel"]
+
+
+@dataclass
+class HddConfig:
+    """Parameters of the HDD service model (times in µs)."""
+
+    avg_seek_us: float = 6500.0  #: average seek (7.2K SAS class)
+    rotation_us: float = 8333.0  #: full rotation at 7200 RPM
+    transfer_us_per_block: float = 20.0  #: 4-KiB transfer at ~200 MB/s
+    #: Ack latency of a write absorbed by the drive's volatile cache.
+    cached_write_us: float = 400.0
+    write_cache_slots: int = 256  #: on-board cache capacity (entries)
+    destage_us: float = 1800.0  #: background destage time per entry
+    #: Blocks within this distance of the previous access count as a
+    #: sequential streak (no seek, no rotational delay).
+    seq_window_blocks: int = 64
+    jitter_sigma: float = 0.10  #: lognormal jitter on mechanical times
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on inconsistent parameters."""
+        if min(self.avg_seek_us, self.rotation_us, self.transfer_us_per_block) < 0:
+            raise ValueError("latencies must be non-negative")
+        if self.write_cache_slots < 0 or self.destage_us <= 0:
+            raise ValueError("write-cache parameters must be positive")
+
+
+class HddModel:
+    """Service-time model of a 7.2K-RPM hard drive with write caching.
+
+    Args:
+        config: Model parameters.
+        rng: Optional numpy generator used for seek-distance variation and
+            rotational position; deterministic averages are used when
+            omitted.
+    """
+
+    def __init__(self, config: HddConfig | None = None, rng=None) -> None:
+        self.config = config or HddConfig()
+        self.config.validate()
+        self.rng = rng
+        self._head_lba = 0
+        self._cache_used = 0.0
+        self._cache_time = 0.0
+
+    # -- write cache ----------------------------------------------------
+    def _drain_cache(self, now: float) -> None:
+        dt = now - self._cache_time
+        if dt > 0:
+            self._cache_used = max(0.0, self._cache_used - dt / self.config.destage_us)
+            self._cache_time = now
+
+    @property
+    def write_cache_fill(self) -> float:
+        """Fraction of the on-board write cache currently occupied."""
+        if self.config.write_cache_slots == 0:
+            return 1.0
+        return min(self._cache_used / self.config.write_cache_slots, 1.0)
+
+    # -- mechanical cost --------------------------------------------------
+    def _mechanical_us(self, op: DeviceOp) -> float:
+        cfg = self.config
+        distance = abs(op.lba - self._head_lba)
+        if distance <= cfg.seq_window_blocks:
+            # sequential streak: transfer only
+            positioning = 0.0
+        else:
+            if self.rng is not None:
+                seek = cfg.avg_seek_us * float(self.rng.uniform(0.4, 1.6))
+                rot = cfg.rotation_us * float(self.rng.uniform(0.0, 1.0))
+            else:
+                seek = cfg.avg_seek_us
+                rot = cfg.rotation_us / 2.0
+            positioning = seek + rot
+        return positioning + cfg.transfer_us_per_block * op.nblocks
+
+    # -- ServiceModel protocol --------------------------------------------
+    @property
+    def nominal_read_us(self) -> float:
+        """Nominal random-read latency before any measurement."""
+        cfg = self.config
+        return cfg.avg_seek_us + cfg.rotation_us / 2.0 + cfg.transfer_us_per_block
+
+    @property
+    def nominal_write_us(self) -> float:
+        """Nominal (cache-absorbed) write latency before any measurement."""
+        return self.config.cached_write_us
+
+    def service_time(self, op: DeviceOp, now: float) -> float:
+        """Price one operation, updating head position and write cache."""
+        cfg = self.config
+        if op.is_write:
+            self._drain_cache(now)
+            if self._cache_used + 1 <= cfg.write_cache_slots:
+                self._cache_used += 1
+                total = cfg.cached_write_us + cfg.transfer_us_per_block * max(
+                    op.nblocks - 1, 0
+                )
+            else:
+                total = self._mechanical_us(op)
+                self._head_lba = op.end_lba
+        else:
+            total = self._mechanical_us(op)
+            self._head_lba = op.end_lba
+        if self.rng is not None and cfg.jitter_sigma > 0:
+            total *= float(self.rng.lognormal(0.0, cfg.jitter_sigma))
+        return total

@@ -1,0 +1,54 @@
+"""Device parameter presets shaped after the paper's testbed.
+
+The paper measured a 1 TB Samsung 863a SATA SSD and a 4 TB Seagate 7.2K
+SAS HDD.  These presets do not claim to match the exact silicon — absolute
+numbers are explicitly out of scope for this reproduction — but they keep
+the *relationships* the mechanism needs:
+
+- SSD reads an order of magnitude faster than random disk reads;
+- SSD writes several times costlier than SSD reads, degrading under
+  sustained pressure (write cliff);
+- disk writes cheap while the drive's cache has room, mechanical once it
+  fills;
+- sequential disk streaks near-free.
+"""
+
+from __future__ import annotations
+
+from repro.devices.hdd import HddConfig, HddModel
+from repro.devices.ssd import SsdConfig, SsdModel
+
+__all__ = ["samsung_863a_like", "seagate_7200_like", "SSD_PRESET", "HDD_PRESET"]
+
+#: Default SSD parameters (SATA enterprise class, 4-KiB ops).
+SSD_PRESET = SsdConfig(
+    read_us=90.0,
+    write_us=250.0,
+    cliff_write_us=4000.0,
+    per_block_us=8.0,
+    gc_decay_us=300_000.0,
+    gc_knee_blocks=30.0,
+    jitter_sigma=0.08,
+)
+
+#: Default HDD parameters (7.2K RPM SAS class, 4-KiB ops).
+HDD_PRESET = HddConfig(
+    avg_seek_us=6500.0,
+    rotation_us=8333.0,
+    transfer_us_per_block=20.0,
+    cached_write_us=400.0,
+    write_cache_slots=256,
+    destage_us=1800.0,
+    seq_window_blocks=64,
+    jitter_sigma=0.10,
+)
+
+
+def samsung_863a_like(rng=None) -> SsdModel:
+    """An :class:`~repro.devices.ssd.SsdModel` with the default preset."""
+    return SsdModel(SsdConfig(**vars(SSD_PRESET)), rng=rng)
+
+
+def seagate_7200_like(rng=None) -> HddModel:
+    """An :class:`~repro.devices.hdd.HddModel` with the default preset."""
+    return HddModel(HddConfig(**vars(HDD_PRESET)), rng=rng)

@@ -1,0 +1,147 @@
+"""Ablations of LBICA's design choices (beyond the paper's evaluation).
+
+The paper motivates several design decisions without isolating them; the
+ablation grid does:
+
+- **adaptive vs fixed policy**: LBICA's per-group table vs pinning WO or
+  RO for the whole run (the paper's criticism of one-policy schemes);
+- **tail bypass on/off** for write-intensive bursts (Group 3);
+- **strict WT+WO SIB** (Kim et al.'s literal design, no read promotion)
+  vs the default read-promoting WT SIB;
+- **replacement policy sweep** (LRU / FIFO / CLOCK / LFU) — LBICA's gains
+  should be replacement-agnostic;
+- **detection margin sweep** for Eq. 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.baselines.sib import SibConfig
+from repro.cache.write_policy import WritePolicy
+from repro.config import SystemConfig, paper_config
+from repro.core.lbica import LbicaConfig
+from repro.experiments.system import ExperimentSystem, RunResult
+
+__all__ = ["AblationResult", "run_ablations", "run_fixed_policy"]
+
+
+@dataclass
+class AblationResult:
+    """All ablation rows: variant name -> summary metrics."""
+
+    rows: dict[str, dict] = field(default_factory=dict)
+
+    def add(self, name: str, result: RunResult) -> None:
+        """Record one variant's key metrics."""
+        series = result.cache_load_series()
+        self.rows[name] = {
+            "mean_latency_us": result.mean_latency,
+            "mean_cache_load_us": sum(series) / len(series) if series else 0.0,
+            "peak_cache_load_us": max(series, default=0.0),
+            "completed": result.completed,
+            "bypassed": result.bypassed_requests,
+        }
+
+    def table(self) -> str:
+        """Fixed-width summary table."""
+        from repro.analysis.report import format_table
+
+        return format_table(
+            ["variant", "mean lat (µs)", "mean cache load", "peak cache load", "done"],
+            [
+                (
+                    name,
+                    f"{row['mean_latency_us']:.0f}",
+                    f"{row['mean_cache_load_us']:.0f}",
+                    f"{row['peak_cache_load_us']:.0f}",
+                    row["completed"],
+                )
+                for name, row in self.rows.items()
+            ],
+            title="ablation summary",
+        )
+
+
+def run_fixed_policy(
+    workload: str, policy: WritePolicy, config: SystemConfig
+) -> RunResult:
+    """Run a workload with one write policy pinned for the whole run."""
+    system = ExperimentSystem.build(workload, "wb", config)
+    system.controller.set_policy(policy)
+    return system.run()
+
+
+def run_ablations(
+    workload: str = "mail",
+    config: Optional[SystemConfig] = None,
+    include_replacement_sweep: bool = True,
+    include_margin_sweep: bool = True,
+) -> AblationResult:
+    """Run the ablation grid on one workload (mail by default — it is the
+    only workload exercising all three policy transitions)."""
+    config = config or paper_config()
+    out = AblationResult()
+
+    # adaptive LBICA vs fixed policies
+    out.add("lbica (adaptive)", ExperimentSystem.build(workload, "lbica", config).run())
+    out.add("fixed WB", ExperimentSystem.build(workload, "wb", config).run())
+    for policy in (WritePolicy.WO, WritePolicy.RO, WritePolicy.WT):
+        out.add(f"fixed {policy.value}", run_fixed_policy(workload, policy, config))
+
+    # tail bypass off (Group 3 keeps WB but sheds nothing)
+    no_bypass = replace(
+        config, lbica=replace(config.lbica, max_bypass_per_round=1)
+    )
+    out.add(
+        "lbica, tail bypass ~off",
+        ExperimentSystem.build(workload, "lbica", no_bypass).run(),
+    )
+
+    # strict WT+WO SIB (no read promotion — Kim et al.'s literal design)
+    strict = replace(config, sib=replace(config.sib, promote_on_miss=False))
+    out.add("sib (default WT)", ExperimentSystem.build(workload, "sib", config).run())
+    out.add(
+        "sib (strict WT+WO)", ExperimentSystem.build(workload, "sib", strict).run()
+    )
+
+    if include_replacement_sweep:
+        for repl in ("lru", "fifo", "clock", "lfu"):
+            cfg = replace(config, replacement=repl)
+            out.add(
+                f"lbica, {repl}",
+                ExperimentSystem.build(workload, "lbica", cfg).run(),
+            )
+
+    if include_margin_sweep:
+        for margin in (1.0, 1.5, 2.0):
+            cfg = replace(config, lbica=replace(config.lbica, margin=margin))
+            out.add(
+                f"lbica, margin={margin}",
+                ExperimentSystem.build(workload, "lbica", cfg).run(),
+            )
+
+    return out
+
+
+def run_disk_headroom_sweep(
+    workload: str = "mail",
+    config: Optional[SystemConfig] = None,
+    disk_counts: tuple[int, ...] = (1, 2, 4),
+) -> AblationResult:
+    """Sweep the disk subsystem's spindle count under LBICA.
+
+    LBICA's RO and tail-bypass remedies push work onto the disk; this
+    sweep quantifies how much the scheme gains from disk-side headroom
+    (a striped array vs the paper's single drive).
+    """
+    config = config or paper_config()
+    out = AblationResult()
+    for n_disks in disk_counts:
+        cfg = replace(config, hdd_disks=n_disks)
+        out.add(
+            f"lbica, {n_disks} spindle(s)",
+            ExperimentSystem.build(workload, "lbica", cfg).run(),
+        )
+    return out

@@ -1,0 +1,109 @@
+"""Command-line entry point: regenerate any paper figure from a terminal.
+
+Examples::
+
+    lbica-experiments fig4                 # cache-load curves, all workloads
+    lbica-experiments fig6 --workloads mail
+    lbica-experiments all --out results/   # every figure + headline + CSVs
+    lbica-experiments ablation --workloads mail
+    python -m repro.experiments fig7       # module form
+
+Each figure prints its ASCII chart and shape-check table; ``--out``
+additionally writes CSV and text artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.config import paper_config, quick_config
+from repro.experiments.ablation import run_ablations
+from repro.experiments.fig4 import generate_fig4
+from repro.experiments.fig5 import generate_fig5
+from repro.experiments.fig6 import generate_fig6
+from repro.experiments.fig7 import generate_fig7
+from repro.experiments.figures import save_figure_artifacts
+from repro.experiments.headline import generate_headline
+from repro.experiments.runner import PAPER_WORKLOADS, ExperimentRunner
+
+__all__ = ["main", "build_parser"]
+
+_FIGURES = {
+    "fig4": generate_fig4,
+    "fig5": generate_fig5,
+    "fig6": generate_fig6,
+    "fig7": generate_fig7,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="lbica-experiments",
+        description="Regenerate the LBICA paper's figures on the simulator.",
+    )
+    parser.add_argument(
+        "target",
+        choices=[*sorted(_FIGURES), "headline", "ablation", "all"],
+        help="which figure/report to regenerate",
+    )
+    parser.add_argument(
+        "--workloads",
+        nargs="+",
+        default=list(PAPER_WORKLOADS),
+        help=f"workload subset (default: {' '.join(PAPER_WORKLOADS)})",
+    )
+    parser.add_argument(
+        "--out", default=None, help="directory for CSV/text artifacts"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="scaled-down configuration (shorter intervals; CI-friendly)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="root random seed (default 7)"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress messages"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    config = quick_config(args.seed) if args.quick else paper_config(args.seed)
+    runner = ExperimentRunner(config, verbose=not args.quiet)
+    workloads = tuple(args.workloads)
+
+    targets = sorted(_FIGURES) if args.target == "all" else [args.target]
+    if args.target == "all":
+        targets += ["headline"]
+
+    failed = False
+    for target in targets:
+        if target == "headline":
+            report = generate_headline(runner, workloads)
+            print(report.table())
+            failed = failed or not report.all_directions_hold
+            continue
+        if target == "ablation":
+            result = run_ablations(workloads[0], config)
+            print(result.table())
+            continue
+        fig = _FIGURES[target](runner, workloads)
+        print(fig.ascii_chart)
+        print()
+        print(fig.checks_table())
+        print()
+        save_figure_artifacts(fig, args.out)
+        failed = failed or not fig.all_passed
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

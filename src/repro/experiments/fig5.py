@@ -1,0 +1,39 @@
+"""Figure 5: I/O load (max latency) on the **disk subsystem** per interval.
+
+The mirror of Fig. 4: the same nine runs, plotted on the HDD queue.  The
+shapes to preserve:
+
+- under WB the disk is mostly idle during cache-bound bursts (the whole
+  point of the paper's "poor load balancing" observation);
+- LBICA moves load *to* the disk — its disk curve rises where its cache
+  curve falls, staying below what the cache was suffering before;
+- SIB's write-through design keeps the disk loaded at all times (every
+  write is mirrored), so its disk curve is the highest on write-heavy
+  workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.fig4 import generate_load_figure
+from repro.experiments.figures import FigureResult
+from repro.experiments.runner import PAPER_WORKLOADS, ExperimentRunner
+
+__all__ = ["generate_fig5"]
+
+
+def generate_fig5(
+    runner: Optional[ExperimentRunner] = None,
+    workloads: tuple[str, ...] = PAPER_WORKLOADS,
+) -> FigureResult:
+    """Regenerate Fig. 5 (disk subsystem load under WB / SIB / LBICA)."""
+    runner = runner or ExperimentRunner()
+    return generate_load_figure(
+        runner,
+        "fig5",
+        "Fig. 5: I/O load (max latency) on the disk subsystem by WB, SIB, and LBICA",
+        "disk_load_series",
+        "disk",
+        workloads,
+    )

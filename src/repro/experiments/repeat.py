@@ -1,0 +1,109 @@
+"""Multi-seed repetition: mean ± stddev over independent runs.
+
+The paper reports single measured runs; a simulator can do better.
+:func:`run_repeated` executes the same (workload × scheme) combination
+under several seeds and aggregates the metrics the figures use, so every
+claim can be checked for seed-robustness (``tests`` and the robustness
+benchmark consume this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.config import SystemConfig, paper_config
+from repro.experiments.system import ExperimentSystem, RunResult
+
+__all__ = ["RepeatedMetric", "RepeatedResult", "run_repeated"]
+
+
+@dataclass(frozen=True)
+class RepeatedMetric:
+    """Mean/stddev/min/max of one metric over seeds."""
+
+    name: str
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    @classmethod
+    def from_values(cls, name: str, values: Sequence[float]) -> "RepeatedMetric":
+        arr = np.asarray(values, dtype=np.float64)
+        return cls(
+            name=name,
+            mean=float(arr.mean()),
+            std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+            minimum=float(arr.min()),
+            maximum=float(arr.max()),
+        )
+
+    def format(self) -> str:
+        """``mean ± std`` rendering."""
+        return f"{self.mean:.1f} ± {self.std:.1f}"
+
+
+@dataclass
+class RepeatedResult:
+    """Aggregated metrics for one (workload, scheme) over several seeds."""
+
+    workload: str
+    scheme: str
+    seeds: tuple[int, ...]
+    mean_latency: RepeatedMetric
+    mean_cache_load: RepeatedMetric
+    peak_cache_load: RepeatedMetric
+    completed: RepeatedMetric
+    runs: list[RunResult]
+
+    def coefficient_of_variation(self) -> float:
+        """Relative spread of the mean latency across seeds."""
+        if self.mean_latency.mean == 0.0:
+            return 0.0
+        return self.mean_latency.std / self.mean_latency.mean
+
+
+def run_repeated(
+    workload: str,
+    scheme: str,
+    seeds: Sequence[int],
+    config: SystemConfig | None = None,
+) -> RepeatedResult:
+    """Run one combination once per seed and aggregate.
+
+    Args:
+        workload: Registered workload name.
+        scheme: ``wb`` / ``sib`` / ``lbica``.
+        seeds: Seeds to run (must be non-empty).
+        config: Base configuration; each run gets ``replace(config,
+            seed=s)``.
+    """
+    if not seeds:
+        raise ValueError("at least one seed required")
+    config = config or paper_config()
+    runs: list[RunResult] = []
+    for seed in seeds:
+        cfg = replace(config, seed=int(seed))
+        runs.append(ExperimentSystem.build(workload, scheme, cfg).run())
+
+    def metric(name: str, values: list[float]) -> RepeatedMetric:
+        return RepeatedMetric.from_values(name, values)
+
+    cache_means = [
+        sum(r.cache_load_series()) / max(len(r.samples), 1) for r in runs
+    ]
+    return RepeatedResult(
+        workload=workload,
+        scheme=scheme,
+        seeds=tuple(int(s) for s in seeds),
+        mean_latency=metric("mean_latency_us", [r.mean_latency for r in runs]),
+        mean_cache_load=metric("mean_cache_load_us", cache_means),
+        peak_cache_load=metric(
+            "peak_cache_load_us", [max(r.cache_load_series(), default=0.0) for r in runs]
+        ),
+        completed=metric("completed", [float(r.completed) for r in runs]),
+        runs=runs,
+    )

@@ -1,0 +1,66 @@
+"""Grid runner: execute (workload × scheme) combinations and cache results.
+
+The figure generators all consume the same nine runs (three workloads ×
+three schemes); :class:`ExperimentRunner` memoizes them so a full
+``fig4 + fig5 + fig6 + fig7 + headline`` regeneration simulates each
+combination exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.config import SystemConfig, paper_config
+from repro.experiments.system import SCHEMES, ExperimentSystem, RunResult
+
+__all__ = ["ExperimentRunner", "run_grid", "PAPER_WORKLOADS"]
+
+#: The three evaluation workloads of Section IV.
+PAPER_WORKLOADS = ("tpcc", "mail", "web")
+
+
+class ExperimentRunner:
+    """Runs and memoizes experiment combinations."""
+
+    def __init__(self, config: SystemConfig | None = None, verbose: bool = False) -> None:
+        self.config = config or paper_config()
+        self.verbose = verbose
+        self._cache: dict[tuple[str, str], RunResult] = {}
+
+    def run(self, workload: str, scheme: str) -> RunResult:
+        """Run one combination (memoized)."""
+        key = (workload, scheme)
+        if key not in self._cache:
+            if self.verbose:
+                print(f"[runner] simulating {workload}/{scheme} ...", flush=True)
+            system = ExperimentSystem.build(workload, scheme, self.config)
+            self._cache[key] = system.run()
+            if self.verbose:
+                print(f"[runner]   {self._cache[key].summary()}", flush=True)
+        return self._cache[key]
+
+    def run_many(
+        self,
+        workloads: Iterable[str] = PAPER_WORKLOADS,
+        schemes: Iterable[str] = SCHEMES,
+    ) -> dict[tuple[str, str], RunResult]:
+        """Run a grid; returns ``{(workload, scheme): result}``."""
+        out: dict[tuple[str, str], RunResult] = {}
+        for workload in workloads:
+            for scheme in schemes:
+                out[(workload, scheme)] = self.run(workload, scheme)
+        return out
+
+    def invalidate(self) -> None:
+        """Drop all memoized results."""
+        self._cache.clear()
+
+
+def run_grid(
+    workloads: Sequence[str] = PAPER_WORKLOADS,
+    schemes: Sequence[str] = SCHEMES,
+    config: SystemConfig | None = None,
+    verbose: bool = False,
+) -> dict[tuple[str, str], RunResult]:
+    """Convenience wrapper: run a fresh grid and return the results."""
+    return ExperimentRunner(config, verbose=verbose).run_many(workloads, schemes)

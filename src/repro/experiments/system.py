@@ -1,0 +1,322 @@
+"""Build and run one (workload × scheme) experiment.
+
+:class:`ExperimentSystem` wires the full stack together — simulator,
+seeded RNG streams, SSD/HDD devices, cache store and controller,
+writeback flusher, iostat monitor, blktrace tracer, the workload, and one
+of the three schemes (``wb`` / ``sib`` / ``lbica``) — runs it to the end
+of the workload script, and collects a :class:`RunResult` holding
+everything the figure generators need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.baselines.sib import SibController
+from repro.baselines.wb import WbBaseline
+from repro.cache.controller import CacheController, PolicyChange
+from repro.cache.store import CacheStore
+from repro.cache.write_policy import WritePolicy
+from repro.cache.writeback import WritebackFlusher
+from repro.config import SystemConfig
+from repro.core.lbica import LbicaController, LbicaDecision
+from repro.devices.array import StripedArrayModel
+from repro.devices.base import StorageDevice
+from repro.devices.hdd import HddModel
+from repro.devices.ssd import SsdModel
+from repro.io.device_queue import DeviceQueue
+from repro.io.request import Request
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.trace.blktrace import BlkTracer
+from repro.trace.iostat import IntervalSample, IostatMonitor
+from repro.workloads.mail import mail_server_workload
+from repro.workloads.synthetic import (
+    mixed_read_write_workload,
+    random_read_workload,
+    random_write_workload,
+    sequential_read_workload,
+    sequential_write_workload,
+)
+from repro.workloads.bootstorm import boot_storm_workload
+from repro.workloads.tpcc import tpcc_workload
+from repro.workloads.web import web_server_workload
+
+__all__ = ["ExperimentSystem", "RunResult", "SCHEMES", "WORKLOADS"]
+
+#: The comparison schemes of the paper's evaluation.
+SCHEMES = ("wb", "sib", "lbica")
+
+#: Workload factories by name: f(interval_us, cache_blocks, rate_scale,
+#: max_outstanding) -> Workload.
+WORKLOADS: dict[str, Callable] = {
+    "tpcc": tpcc_workload,
+    "mail": mail_server_workload,
+    "web": web_server_workload,
+    "bootstorm": boot_storm_workload,
+    "random_read": lambda interval_us, cache_blocks, rate_scale, max_outstanding: random_read_workload(
+        interval_us, cache_blocks=cache_blocks, max_outstanding=max_outstanding
+    ),
+    "random_write": lambda interval_us, cache_blocks, rate_scale, max_outstanding: random_write_workload(
+        interval_us, cache_blocks=cache_blocks, max_outstanding=max_outstanding
+    ),
+    "seq_read": lambda interval_us, cache_blocks, rate_scale, max_outstanding: sequential_read_workload(
+        interval_us, cache_blocks=cache_blocks, max_outstanding=max_outstanding
+    ),
+    "seq_write": lambda interval_us, cache_blocks, rate_scale, max_outstanding: sequential_write_workload(
+        interval_us, cache_blocks=cache_blocks, max_outstanding=max_outstanding
+    ),
+    "mixed_rw": lambda interval_us, cache_blocks, rate_scale, max_outstanding: mixed_read_write_workload(
+        interval_us, cache_blocks=cache_blocks, max_outstanding=max_outstanding
+    ),
+}
+
+
+@dataclass
+class RunResult:
+    """Everything collected from one experiment run."""
+
+    workload: str
+    scheme: str
+    samples: list[IntervalSample]
+    latencies: list[float]
+    read_latencies: list[float]
+    write_latencies: list[float]
+    bypassed_requests: int
+    cache_stats: dict
+    store_stats: dict
+    ssd_queue_stats: dict
+    hdd_queue_stats: dict
+    workload_stats: dict
+    policy_log: list[PolicyChange]
+    lbica_decisions: list[LbicaDecision] = field(default_factory=list)
+    sib_rounds: int = 0
+    sib_overhead_us: float = 0.0
+    events_processed: int = 0
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean application latency over the whole run (µs)."""
+        return sum(self.latencies) / len(self.latencies) if self.latencies else 0.0
+
+    @property
+    def completed(self) -> int:
+        """Completed application requests."""
+        return len(self.latencies)
+
+    def cache_load_series(self) -> list[float]:
+        """Per-interval cache queue time (the Fig. 4 curve, µs)."""
+        return [s.cache_qtime for s in self.samples]
+
+    def disk_load_series(self) -> list[float]:
+        """Per-interval disk queue time (the Fig. 5 curve, µs)."""
+        return [s.disk_qtime for s in self.samples]
+
+    def summary(self) -> str:
+        """One-paragraph human-readable run summary."""
+        return (
+            f"{self.workload}/{self.scheme}: {self.completed} requests, "
+            f"mean latency {self.mean_latency:.1f}µs, "
+            f"bypassed {self.bypassed_requests}, "
+            f"hit ratio {self.cache_stats.get('read_hit_ratio', 0.0):.2%}, "
+            f"peak cache Qtime {max(self.cache_load_series(), default=0.0):.0f}µs"
+        )
+
+
+class ExperimentSystem:
+    """One fully wired simulated storage system."""
+
+    def __init__(
+        self,
+        workload,
+        scheme: str,
+        config: SystemConfig,
+    ) -> None:
+        if scheme not in SCHEMES:
+            raise ValueError(f"unknown scheme {scheme!r}; choose from {SCHEMES}")
+        config.validate()
+        self.config = config
+        self.scheme = scheme
+        self.workload = workload
+
+        self.sim = Simulator()
+        self.rngs = RngRegistry(config.seed)
+
+        ssd_model = SsdModel(config.ssd, rng=self.rngs.stream("ssd.jitter"))
+        hdd_rng = self.rngs.stream("hdd.jitter")
+        if config.hdd_disks > 1:
+            hdd_model = StripedArrayModel(
+                n_disks=config.hdd_disks, config=config.hdd, rng=hdd_rng
+            )
+            hdd_depth = config.hdd_depth * config.hdd_disks
+        else:
+            hdd_model = HddModel(config.hdd, rng=hdd_rng)
+            hdd_depth = config.hdd_depth
+        self.ssd = StorageDevice(
+            self.sim,
+            "ssd",
+            ssd_model,
+            depth=config.ssd_depth,
+            queue=DeviceQueue("ssd", config.max_merge_blocks),
+        )
+        self.hdd = StorageDevice(
+            self.sim,
+            "hdd",
+            hdd_model,
+            depth=hdd_depth,
+            queue=DeviceQueue("hdd", config.max_merge_blocks),
+        )
+        self.store = CacheStore(
+            config.cache_blocks,
+            associativity=config.cache_associativity,
+            replacement=config.replacement,
+        )
+        self.controller = CacheController(
+            self.sim, self.ssd, self.hdd, self.store, policy=WritePolicy.WB
+        )
+        self.tracer = BlkTracer(self.sim)
+        self.tracer.attach(self.ssd)
+        self.tracer.attach(self.hdd)
+        self.monitor = IostatMonitor(
+            self.sim, self.ssd, self.hdd, interval_us=config.interval_us
+        )
+        self.flusher = WritebackFlusher(self.sim, self.controller, config.writeback)
+
+        self.balancer: WbBaseline | SibController | LbicaController
+        if scheme == "wb":
+            self.balancer = WbBaseline(self.sim, self.controller)
+        elif scheme == "sib":
+            self.balancer = SibController(
+                self.sim, self.controller, self.ssd, self.hdd, config.sib
+            )
+        else:
+            self.balancer = LbicaController(
+                self.sim, self.controller, self.ssd, self.hdd, self.tracer, config.lbica
+            )
+
+        # request accounting
+        self._latencies: list[float] = []
+        self._read_latencies: list[float] = []
+        self._write_latencies: list[float] = []
+        self._bypassed = 0
+        self.controller.add_completion_hook(self._on_complete)
+        self.controller.add_completion_hook(self.monitor.record_completion)
+        self.controller.add_completion_hook(self.workload.on_request_complete)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls, workload_name: str, scheme: str, config: SystemConfig
+    ) -> "ExperimentSystem":
+        """Construct a system from a registered workload name."""
+        factory = WORKLOADS.get(workload_name)
+        if factory is None:
+            raise ValueError(
+                f"unknown workload {workload_name!r}; choose from {sorted(WORKLOADS)}"
+            )
+        workload = factory(
+            config.interval_us,
+            cache_blocks=config.cache_blocks,
+            rate_scale=config.rate_scale,
+            max_outstanding=config.max_outstanding,
+        )
+        return cls(workload, scheme, config)
+
+    # ------------------------------------------------------------------
+    def _on_complete(self, request: Request) -> None:
+        lat = request.latency
+        self._latencies.append(lat)
+        if request.is_write:
+            self._write_latencies.append(lat)
+        else:
+            self._read_latencies.append(lat)
+        if request.bypassed:
+            self._bypassed += 1
+
+    # ------------------------------------------------------------------
+    def warm_cache(self) -> int:
+        """Pre-load the workload's warm set into the cache (clean).
+
+        Returns the number of blocks inserted.  This reproduces the
+        paper's "past its warm-up interval" assumption without paying the
+        cold-miss path at simulation start.
+        """
+        count = 0
+        for lba in getattr(self.workload, "warm_blocks", ()):
+            self.store.insert(lba, 0.0, dirty=False)
+            count += 1
+        for lba in getattr(self.workload, "warm_dirty_blocks", ()):
+            self.store.insert(lba, 0.0, dirty=True)
+            count += 1
+        return count
+
+    def run(self) -> RunResult:
+        """Run the workload to completion and collect results."""
+        self.warm_cache()
+        self.monitor.start()
+        self.flusher.start()
+        self.balancer.start()
+        self.workload.bind(
+            self.sim, self.controller.submit, self.rngs.stream("workload.arrivals")
+        )
+        horizon = self.workload.duration_us + (
+            self.config.drain_intervals * self.config.interval_us
+        )
+        self.sim.run(until=horizon)
+
+        lbica_decisions: list[LbicaDecision] = []
+        sib_rounds = 0
+        sib_overhead = 0.0
+        if isinstance(self.balancer, LbicaController):
+            lbica_decisions = self.balancer.decisions
+        elif isinstance(self.balancer, SibController):
+            sib_rounds = len(self.balancer.rounds)
+            sib_overhead = self.balancer.total_overhead_us
+
+        stats = self.controller.stats
+        return RunResult(
+            workload=self.workload.name,
+            scheme=self.scheme,
+            samples=list(self.monitor.samples),
+            latencies=self._latencies,
+            read_latencies=self._read_latencies,
+            write_latencies=self._write_latencies,
+            bypassed_requests=self._bypassed,
+            cache_stats={
+                "requests": stats.requests,
+                "read_hit_ratio": stats.read_hit_ratio,
+                "promotes_issued": stats.promotes_issued,
+                "promotes_cancelled": stats.promotes_cancelled,
+                "evict_flushes": stats.evict_flushes,
+                "writes_bypassed": stats.writes_bypassed,
+                "reads_bypassed": stats.reads_bypassed,
+                "policy_switches": stats.policy_switches,
+                "mean_latency": stats.mean_latency,
+            },
+            store_stats={
+                "occupied": self.store.occupied,
+                "dirty": self.store.dirty_count,
+                "hit_ratio": self.store.stats.hit_ratio,
+                "evictions": self.store.stats.evictions,
+                "dirty_evictions": self.store.stats.dirty_evictions,
+            },
+            ssd_queue_stats=self.ssd.queue.stats.snapshot(),
+            hdd_queue_stats=self.hdd.queue.stats.snapshot(),
+            workload_stats={
+                "generated": getattr(self.workload.stats, "generated", 0)
+                if hasattr(self.workload, "stats")
+                else 0,
+                "throttled": getattr(self.workload.stats, "throttled", 0)
+                if hasattr(self.workload, "stats")
+                else 0,
+            },
+            policy_log=list(stats.policy_log),
+            lbica_decisions=lbica_decisions,
+            sib_rounds=sib_rounds,
+            sib_overhead_us=sib_overhead,
+            events_processed=self.sim.events_processed,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ExperimentSystem({self.workload.name}/{self.scheme})"

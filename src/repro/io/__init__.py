@@ -1,0 +1,20 @@
+"""Block-layer substrate: requests, device operations, and device queues.
+
+This package models the slice of the Linux block layer that LBICA observes
+and manipulates:
+
+- :mod:`repro.io.request` — application-level :class:`~repro.io.request.Request`
+  objects and the device-level :class:`~repro.io.request.DeviceOp` operations
+  they expand into, tagged with the paper's four in-queue types
+  (R: application read, W: application write, P: cache promote,
+  E: cache evict).
+- :mod:`repro.io.device_queue` — a FIFO dispatch queue with contiguous
+  request merging (the block layer's back/front merge), occupancy
+  accounting for iostat-style sampling, and *tail stealing*, the primitive
+  both LBICA's Group-3 tail bypass and SIB's selective bypass are built on.
+"""
+
+from repro.io.request import DeviceOp, OpTag, Request
+from repro.io.device_queue import DeviceQueue, QueueStats
+
+__all__ = ["Request", "DeviceOp", "OpTag", "DeviceQueue", "QueueStats"]

@@ -1,0 +1,58 @@
+"""Event records for the discrete-event simulator.
+
+An :class:`Event` couples a firing time with a callback.  Events compare by
+``(time, seq)`` where ``seq`` is a monotonically increasing sequence number
+assigned by the simulator; this makes the ordering of simultaneous events
+deterministic (FIFO in scheduling order), which in turn makes whole
+simulations bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+__all__ = ["Event"]
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are created through :meth:`repro.sim.engine.Simulator.schedule`
+    (or ``schedule_at``) rather than directly.  An event can be cancelled
+    with :meth:`cancel`; cancelled events stay in the heap but are skipped
+    when popped (lazy deletion), which keeps cancellation O(1).
+
+    Attributes:
+        time: Absolute simulation time (µs) at which the event fires.
+        seq: Tie-breaking sequence number (scheduling order).
+        fn: The callback to invoke.
+        args: Positional arguments passed to ``fn``.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when popped."""
+        self.cancelled = True
+
+    @property
+    def active(self) -> bool:
+        """Whether the event is still pending (not cancelled)."""
+        return not self.cancelled
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"Event(t={self.time:.3f}, seq={self.seq}, fn={name}, {state})"

@@ -1,0 +1,32 @@
+"""Monitoring substrate: the paper's iostat and blktrace stand-ins.
+
+LBICA observes the system exclusively through two kernel tools, and this
+package rebuilds both for the simulated stack:
+
+- :mod:`repro.trace.iostat` — :class:`~repro.trace.iostat.IostatMonitor`
+  samples per-interval queue depths and service-time estimates and
+  computes Eq. 1 queue times; its interval records are the data behind
+  Figures 4–6.
+- :mod:`repro.trace.blktrace` — :class:`~repro.trace.blktrace.BlkTracer`
+  logs per-op queue/issue/complete transitions (blktrace's Q/D/C) and can
+  report the R/W/P/E composition of a device queue, which is LBICA's
+  workload-characterization input.
+- :mod:`repro.trace.parser` — a text trace format (blkparse-like) with a
+  writer and parser, so captured runs can be replayed through
+  :mod:`repro.workloads.replay`.
+"""
+
+from repro.trace.blktrace import BlkTracer
+from repro.trace.iostat import IntervalSample, IostatMonitor
+from repro.trace.parser import TraceParseError, load_trace, save_trace
+from repro.trace.records import TraceRecord
+
+__all__ = [
+    "BlkTracer",
+    "IostatMonitor",
+    "IntervalSample",
+    "TraceRecord",
+    "load_trace",
+    "save_trace",
+    "TraceParseError",
+]

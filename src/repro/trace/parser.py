@@ -1,0 +1,103 @@
+"""Text trace format: writer and parser.
+
+The format is a simplified blkparse line, one event per line::
+
+    <time_us> <device> <action> <tag> <rw> <lba> <nblocks> <op_id>
+
+e.g. ``1234.500 ssd Q P W 8192 1 42``.  Lines starting with ``#`` and
+blank lines are ignored.  :func:`save_trace` / :func:`load_trace` round-
+trip :class:`~repro.trace.records.TraceRecord` sequences; the workload
+replay module consumes only ``Q`` records of application tags.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, TextIO
+
+from repro.io.request import OpTag
+from repro.trace.records import ACTIONS, TraceRecord
+
+__all__ = ["save_trace", "load_trace", "loads_trace", "dumps_trace", "TraceParseError"]
+
+_VALID_TAGS = {tag.value: tag for tag in OpTag}
+
+
+class TraceParseError(ValueError):
+    """Raised for malformed trace lines (includes the line number)."""
+
+    def __init__(self, lineno: int, line: str, reason: str) -> None:
+        super().__init__(f"line {lineno}: {reason}: {line!r}")
+        self.lineno = lineno
+        self.line = line
+        self.reason = reason
+
+
+def dumps_trace(records: Iterable[TraceRecord]) -> str:
+    """Serialize records to the text format (with a header comment)."""
+    buf = io.StringIO()
+    buf.write("# time_us device action tag rw lba nblocks op_id\n")
+    for rec in records:
+        buf.write(rec.format_line())
+        buf.write("\n")
+    return buf.getvalue()
+
+
+def save_trace(records: Iterable[TraceRecord], path: str | Path) -> int:
+    """Write records to ``path``; returns the number of records written."""
+    records = list(records)
+    Path(path).write_text(dumps_trace(records), encoding="utf-8")
+    return len(records)
+
+
+def _parse_line(lineno: int, line: str) -> TraceRecord:
+    parts = line.split()
+    if len(parts) != 8:
+        raise TraceParseError(lineno, line, f"expected 8 fields, got {len(parts)}")
+    time_s, device, action, tag_s, rw, lba_s, nblocks_s, op_id_s = parts
+    try:
+        time = float(time_s)
+        lba = int(lba_s)
+        nblocks = int(nblocks_s)
+        op_id = int(op_id_s)
+    except ValueError as exc:
+        raise TraceParseError(lineno, line, f"bad numeric field ({exc})") from None
+    if action not in ACTIONS:
+        raise TraceParseError(lineno, line, f"unknown action {action!r}")
+    tag = _VALID_TAGS.get(tag_s)
+    if tag is None:
+        raise TraceParseError(lineno, line, f"unknown tag {tag_s!r}")
+    if rw not in ("R", "W"):
+        raise TraceParseError(lineno, line, f"rw must be R or W, got {rw!r}")
+    if time < 0 or lba < 0 or nblocks <= 0:
+        raise TraceParseError(lineno, line, "negative time/lba or non-positive size")
+    return TraceRecord(
+        time=time,
+        device=device,
+        action=action,
+        tag=tag,
+        is_write=(rw == "W"),
+        lba=lba,
+        nblocks=nblocks,
+        op_id=op_id,
+    )
+
+
+def _iter_lines(stream: TextIO) -> Iterable[TraceRecord]:
+    for lineno, raw in enumerate(stream, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        yield _parse_line(lineno, line)
+
+
+def loads_trace(text: str) -> list[TraceRecord]:
+    """Parse records from a string."""
+    return list(_iter_lines(io.StringIO(text)))
+
+
+def load_trace(path: str | Path) -> list[TraceRecord]:
+    """Parse records from a file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return list(_iter_lines(fh))

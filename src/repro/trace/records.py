@@ -1,0 +1,61 @@
+"""Trace record types shared by the blktrace and parser modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.io.request import OpTag
+
+__all__ = ["TraceRecord", "ACTIONS"]
+
+#: blktrace-style action codes we record: Q(ueued), D(ispatched), C(ompleted).
+ACTIONS = ("Q", "D", "C")
+
+_ACTION_FOR = {"queue": "Q", "issue": "D", "complete": "C"}
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One block-layer event, blktrace style.
+
+    Attributes:
+        time: Event time (µs).
+        device: Device name (``ssd`` / ``hdd``).
+        action: ``Q`` (queued), ``D`` (dispatched), or ``C`` (completed).
+        tag: The paper's R/W/P/E type.
+        is_write: Direction at the device.
+        lba: First block address.
+        nblocks: Block count.
+        op_id: Device-op id (correlates Q/D/C lines).
+    """
+
+    time: float
+    device: str
+    action: str
+    tag: OpTag
+    is_write: bool
+    lba: int
+    nblocks: int
+    op_id: int
+
+    @classmethod
+    def from_transition(cls, now: float, device: str, op, transition: str) -> "TraceRecord":
+        """Build a record from a device observer callback."""
+        return cls(
+            time=now,
+            device=device,
+            action=_ACTION_FOR[transition],
+            tag=op.tag,
+            is_write=op.is_write,
+            lba=op.lba,
+            nblocks=op.nblocks,
+            op_id=op.op_id,
+        )
+
+    def format_line(self) -> str:
+        """Render the record in the project's text trace format."""
+        rw = "W" if self.is_write else "R"
+        return (
+            f"{self.time:.3f} {self.device} {self.action} {self.tag.value} "
+            f"{rw} {self.lba} {self.nblocks} {self.op_id}"
+        )

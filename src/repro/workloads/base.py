@@ -1,0 +1,230 @@
+"""The phase-scripted workload engine.
+
+A :class:`Workload` is a list of :class:`PhaseSpec` entries, each lasting
+a whole number of monitoring intervals and defining an arrival rate, a
+read/write mix, address patterns, and request sizes.  Arrivals follow a
+Poisson process (exponential inter-arrival times) subject to
+**application backpressure**: at most ``max_outstanding`` requests may be
+in flight, mirroring a real application's bounded I/O concurrency.
+Backpressure is what keeps queue growth — and therefore simulated
+latencies — finite during bursts while still saturating the device under
+test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.io.request import Request
+from repro.workloads.access_patterns import AddressPattern
+
+__all__ = ["PhaseSpec", "Workload", "WorkloadStats"]
+
+
+@dataclass
+class PhaseSpec:
+    """One workload phase.
+
+    Attributes:
+        label: Human-readable phase name (shows up in experiment logs).
+        n_intervals: Duration in monitoring intervals.
+        rate_iops: Poisson arrival rate, requests per second.
+        write_frac: Probability a request is a write.
+        pattern_read: Address pattern for reads.
+        pattern_write: Address pattern for writes (defaults to
+            ``pattern_read``).
+        size_blocks: Request size in 4-KiB blocks — either an int or a
+            ``(choices, probabilities)`` pair.
+        burst: Whether this phase is a scripted burst window (annotation
+            only; the simulator discovers bursts through Eq. 1).
+    """
+
+    label: str
+    n_intervals: int
+    rate_iops: float
+    write_frac: float
+    pattern_read: AddressPattern
+    pattern_write: Optional[AddressPattern] = None
+    size_blocks: int | tuple[Sequence[int], Sequence[float]] = 1
+    burst: bool = False
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on inconsistent parameters."""
+        if self.n_intervals <= 0:
+            raise ValueError(f"phase {self.label!r}: n_intervals must be positive")
+        if self.rate_iops <= 0:
+            raise ValueError(f"phase {self.label!r}: rate_iops must be positive")
+        if not 0.0 <= self.write_frac <= 1.0:
+            raise ValueError(f"phase {self.label!r}: write_frac must be in [0, 1]")
+
+    @property
+    def write_pattern(self) -> AddressPattern:
+        """The effective write address pattern."""
+        return self.pattern_write if self.pattern_write is not None else self.pattern_read
+
+
+@dataclass
+class WorkloadStats:
+    """Counters for one workload run."""
+
+    generated: int = 0
+    reads: int = 0
+    writes: int = 0
+    throttled: int = 0  #: arrivals deferred by backpressure
+    finished: bool = False
+
+
+class Workload:
+    """A multi-phase request generator bound to a simulator.
+
+    Args:
+        name: Workload name (``tpcc`` / ``mail`` / ``web`` / ...).
+        phases: Phase script (validated on construction).
+        interval_us: Monitoring interval length — phases are expressed in
+            these units so workload scripts line up with iostat samples.
+        max_outstanding: Application concurrency bound (backpressure).
+        warm_blocks: Block addresses to pre-load into the cache before the
+            run — the paper assumes "the workload has passed its warm-up
+            interval" (Section III-B footnote), so hot working sets start
+            resident instead of being filled through the miss path.
+        warm_dirty_blocks: Addresses pre-loaded *dirty* — write-back data
+            accumulated before the observed window (a mail server's
+            pending deliveries, a web server's session state).  Evicting
+            these is what produces the ``E`` share of the paper's queue
+            mixes.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        phases: Sequence[PhaseSpec],
+        interval_us: float,
+        max_outstanding: int = 256,
+        warm_blocks: Sequence[int] = (),
+        warm_dirty_blocks: Sequence[int] = (),
+    ) -> None:
+        if not phases:
+            raise ValueError("at least one phase required")
+        if interval_us <= 0:
+            raise ValueError("interval_us must be positive")
+        if max_outstanding <= 0:
+            raise ValueError("max_outstanding must be positive")
+        for phase in phases:
+            phase.validate()
+        self.name = name
+        self.phases = list(phases)
+        self.interval_us = interval_us
+        self.max_outstanding = max_outstanding
+        self.warm_blocks = list(warm_blocks)
+        self.warm_dirty_blocks = list(warm_dirty_blocks)
+        self.stats = WorkloadStats()
+        # phase boundaries in absolute µs
+        self._bounds: list[float] = []
+        t = 0.0
+        for phase in self.phases:
+            t += phase.n_intervals * interval_us
+            self._bounds.append(t)
+        self._phase_idx = 0
+        self._outstanding = 0
+        self._throttled = False
+        self._sim = None
+        self._submit: Optional[Callable[[Request], None]] = None
+        self._rng: Optional[np.random.Generator] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def total_intervals(self) -> int:
+        """Total scripted duration in monitoring intervals."""
+        return sum(p.n_intervals for p in self.phases)
+
+    @property
+    def duration_us(self) -> float:
+        """Total scripted duration in µs."""
+        return self._bounds[-1]
+
+    def phase_at(self, time_us: float) -> PhaseSpec:
+        """The phase active at ``time_us`` (clamped to the last phase)."""
+        idx = int(np.searchsorted(self._bounds, time_us, side="right"))
+        return self.phases[min(idx, len(self.phases) - 1)]
+
+    def burst_intervals(self) -> list[int]:
+        """Interval indices covered by scripted burst phases."""
+        out: list[int] = []
+        start = 0
+        for phase in self.phases:
+            if phase.burst:
+                out.extend(range(start, start + phase.n_intervals))
+            start += phase.n_intervals
+        return out
+
+    # ------------------------------------------------------------------
+    # Binding to a simulator
+    # ------------------------------------------------------------------
+    def bind(self, sim, submit: Callable[[Request], None], rng: np.random.Generator) -> None:
+        """Attach to a simulator and start generating arrivals."""
+        self._sim = sim
+        self._submit = submit
+        self._rng = rng
+        sim.schedule(self._next_gap(), self._arrive)
+
+    def on_request_complete(self, request: Request) -> None:
+        """Backpressure hook: wire to the cache controller's completion."""
+        self._outstanding -= 1
+        if self._throttled and self._outstanding < self.max_outstanding:
+            self._throttled = False
+            if self._sim.now < self.duration_us:
+                self._sim.schedule(self._next_gap(), self._arrive)
+
+    # ------------------------------------------------------------------
+    def _current_phase(self) -> Optional[PhaseSpec]:
+        now = self._sim.now
+        if now >= self.duration_us:
+            return None
+        while self._phase_idx < len(self._bounds) - 1 and now >= self._bounds[self._phase_idx]:
+            self._phase_idx += 1
+        return self.phases[self._phase_idx]
+
+    def _next_gap(self) -> float:
+        phase = self.phases[min(self._phase_idx, len(self.phases) - 1)]
+        mean_gap_us = 1e6 / phase.rate_iops
+        return float(self._rng.exponential(mean_gap_us))
+
+    def _draw_size(self, phase: PhaseSpec) -> int:
+        size = phase.size_blocks
+        if isinstance(size, int):
+            return size
+        choices, probs = size
+        return int(self._rng.choice(choices, p=probs))
+
+    def _arrive(self) -> None:
+        phase = self._current_phase()
+        if phase is None:
+            self.stats.finished = True
+            return
+        if self._outstanding >= self.max_outstanding:
+            self.stats.throttled += 1
+            self._throttled = True
+            return  # resumed by on_request_complete
+        rng = self._rng
+        is_write = bool(rng.random() < phase.write_frac)
+        pattern = phase.write_pattern if is_write else phase.pattern_read
+        lba = pattern.sample(rng)
+        nblocks = self._draw_size(phase)
+        request = Request(self._sim.now, lba, nblocks, is_write)
+        self.stats.generated += 1
+        if is_write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+        self._outstanding += 1
+        self._submit(request)
+        self._sim.schedule(self._next_gap(), self._arrive)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Workload({self.name!r}, phases={len(self.phases)}, "
+            f"intervals={self.total_intervals})"
+        )

@@ -1,0 +1,69 @@
+"""Trace replay: feed captured traces back through the stack.
+
+A :class:`ReplayWorkload` takes :class:`~repro.trace.records.TraceRecord`
+sequences (for example parsed from the project's text format with
+:func:`repro.trace.parser.load_trace`) and re-submits the *application*
+arrivals — ``Q`` records tagged ``R`` or ``W`` — at their original
+timestamps.  ``P``/``E`` records are skipped: they were cache-generated
+and the replayed cache will regenerate its own.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from repro.io.request import OpTag, Request
+from repro.trace.records import TraceRecord
+
+__all__ = ["ReplayWorkload"]
+
+
+class ReplayWorkload:
+    """Replays application arrivals from a trace.
+
+    Args:
+        records: Parsed trace records (any order; sorted internally).
+        time_scale: Multiplier applied to timestamps (``0.5`` replays
+            twice as fast).
+    """
+
+    def __init__(self, records: Iterable[TraceRecord], time_scale: float = 1.0) -> None:
+        if time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+        app = [
+            r
+            for r in records
+            if r.action == "Q" and r.tag in (OpTag.READ, OpTag.WRITE)
+        ]
+        app.sort(key=lambda r: r.time)
+        self.records: Sequence[TraceRecord] = app
+        self.time_scale = time_scale
+        self.name = "replay"
+        self.submitted = 0
+
+    @property
+    def duration_us(self) -> float:
+        """Timestamp of the last arrival after scaling (0 when empty)."""
+        return self.records[-1].time * self.time_scale if self.records else 0.0
+
+    def bind(self, sim, submit: Callable[[Request], None], rng=None) -> None:
+        """Schedule every arrival on the simulator (rng unused)."""
+        for rec in self.records:
+            sim.schedule_at(
+                max(rec.time * self.time_scale, sim.now),
+                self._emit,
+                sim,
+                submit,
+                rec,
+            )
+
+    def _emit(self, sim, submit: Callable[[Request], None], rec: TraceRecord) -> None:
+        request = Request(sim.now, rec.lba, rec.nblocks, rec.is_write)
+        self.submitted += 1
+        submit(request)
+
+    def on_request_complete(self, request: Request) -> None:
+        """No backpressure during replay (timestamps are authoritative)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ReplayWorkload({len(self.records)} arrivals)"

@@ -1,0 +1,213 @@
+"""Declarative workload specifications (dict / JSON).
+
+Lets experiments be described as data rather than code — useful for
+sweeps, external tooling, and storing workload definitions next to their
+results.  A spec is a dict of the form::
+
+    {
+      "name": "my_workload",
+      "max_outstanding": 256,
+      "warm": [{"kind": "range", "start": 0, "span": 2048, "dirty": false}],
+      "phases": [
+        {
+          "label": "burst",
+          "n_intervals": 40,
+          "rate_iops": 5000,
+          "write_frac": 0.02,
+          "burst": true,
+          "size_blocks": 1,
+          "read_pattern":  {"kind": "hotcold", "hot_start": 0,
+                             "hot_span": 3000, "cold_start": 131072,
+                             "cold_span": 98304, "hot_prob": 0.97},
+          "write_pattern": {"kind": "uniform", "start": 0, "span": 3000}
+        }
+      ]
+    }
+
+Pattern kinds: ``uniform``, ``zipf``, ``hotcold``, ``sequential``,
+``mix`` (with ``components: [{"weight": ..., "pattern": {...}}]``).
+
+:func:`workload_from_spec` builds a live
+:class:`~repro.workloads.base.Workload`; :func:`load_workload_spec`
+parses a JSON file first.  Unknown keys raise — specs are validated, not
+silently pruned.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.workloads.access_patterns import (
+    AddressPattern,
+    HotColdPattern,
+    MixPattern,
+    SequentialPattern,
+    UniformPattern,
+    ZipfPattern,
+)
+from repro.workloads.base import PhaseSpec, Workload
+
+__all__ = ["workload_from_spec", "load_workload_spec", "pattern_from_spec", "SpecError"]
+
+
+class SpecError(ValueError):
+    """Raised for malformed workload specifications."""
+
+
+def _require(spec: Mapping[str, Any], key: str, context: str) -> Any:
+    if key not in spec:
+        raise SpecError(f"{context}: missing required key {key!r}")
+    return spec[key]
+
+
+def _check_keys(spec: Mapping[str, Any], allowed: set[str], context: str) -> None:
+    unknown = set(spec) - allowed
+    if unknown:
+        raise SpecError(f"{context}: unknown keys {sorted(unknown)}")
+
+
+def pattern_from_spec(spec: Mapping[str, Any]) -> AddressPattern:
+    """Build an address pattern from its spec dict."""
+    kind = _require(spec, "kind", "pattern")
+    if kind == "uniform":
+        _check_keys(spec, {"kind", "start", "span"}, "uniform pattern")
+        return UniformPattern(int(_require(spec, "start", "uniform")),
+                              int(_require(spec, "span", "uniform")))
+    if kind == "zipf":
+        _check_keys(spec, {"kind", "start", "span", "s", "perm_seed"}, "zipf pattern")
+        return ZipfPattern(
+            int(_require(spec, "start", "zipf")),
+            int(_require(spec, "span", "zipf")),
+            s=float(spec.get("s", 1.1)),
+            perm_seed=int(spec.get("perm_seed", 1)),
+        )
+    if kind == "hotcold":
+        _check_keys(
+            spec,
+            {"kind", "hot_start", "hot_span", "cold_start", "cold_span", "hot_prob"},
+            "hotcold pattern",
+        )
+        return HotColdPattern(
+            int(_require(spec, "hot_start", "hotcold")),
+            int(_require(spec, "hot_span", "hotcold")),
+            int(_require(spec, "cold_start", "hotcold")),
+            int(_require(spec, "cold_span", "hotcold")),
+            hot_prob=float(spec.get("hot_prob", 0.9)),
+        )
+    if kind == "sequential":
+        _check_keys(spec, {"kind", "start", "span", "stride"}, "sequential pattern")
+        return SequentialPattern(
+            int(_require(spec, "start", "sequential")),
+            int(_require(spec, "span", "sequential")),
+            stride=int(spec.get("stride", 1)),
+        )
+    if kind == "mix":
+        _check_keys(spec, {"kind", "components"}, "mix pattern")
+        components = _require(spec, "components", "mix")
+        if not isinstance(components, list) or not components:
+            raise SpecError("mix pattern: components must be a non-empty list")
+        built = []
+        for comp in components:
+            _check_keys(comp, {"weight", "pattern"}, "mix component")
+            built.append(
+                (
+                    float(_require(comp, "weight", "mix component")),
+                    pattern_from_spec(_require(comp, "pattern", "mix component")),
+                )
+            )
+        return MixPattern(built)
+    raise SpecError(f"unknown pattern kind {kind!r}")
+
+
+def _phase_from_spec(spec: Mapping[str, Any], index: int) -> PhaseSpec:
+    context = f"phase[{index}]"
+    _check_keys(
+        spec,
+        {
+            "label",
+            "n_intervals",
+            "rate_iops",
+            "write_frac",
+            "burst",
+            "size_blocks",
+            "read_pattern",
+            "write_pattern",
+        },
+        context,
+    )
+    size: Any = spec.get("size_blocks", 1)
+    if isinstance(size, list):
+        choices = [int(c) for c, _ in size]
+        probs = [float(p) for _, p in size]
+        size = (choices, probs)
+    phase = PhaseSpec(
+        label=str(spec.get("label", f"phase{index}")),
+        n_intervals=int(_require(spec, "n_intervals", context)),
+        rate_iops=float(_require(spec, "rate_iops", context)),
+        write_frac=float(spec.get("write_frac", 0.0)),
+        pattern_read=pattern_from_spec(_require(spec, "read_pattern", context)),
+        pattern_write=(
+            pattern_from_spec(spec["write_pattern"])
+            if "write_pattern" in spec
+            else None
+        ),
+        size_blocks=size,
+        burst=bool(spec.get("burst", False)),
+    )
+    phase.validate()
+    return phase
+
+
+def _warm_from_spec(entries: list, context: str) -> tuple[list[int], list[int]]:
+    clean: list[int] = []
+    dirty: list[int] = []
+    for i, entry in enumerate(entries):
+        _check_keys(entry, {"kind", "start", "span", "dirty"}, f"{context}[{i}]")
+        if entry.get("kind", "range") != "range":
+            raise SpecError(f"{context}[{i}]: only 'range' warm entries supported")
+        start = int(_require(entry, "start", f"{context}[{i}]"))
+        span = int(_require(entry, "span", f"{context}[{i}]"))
+        target = dirty if entry.get("dirty", False) else clean
+        target.extend(range(start, start + span))
+    return clean, dirty
+
+
+def workload_from_spec(
+    spec: Mapping[str, Any], interval_us: float
+) -> Workload:
+    """Build a :class:`Workload` from a spec dict.
+
+    Args:
+        spec: The specification (see module docstring).
+        interval_us: Monitoring interval the phases are expressed in.
+
+    Raises:
+        SpecError: On missing/unknown keys or invalid values.
+    """
+    _check_keys(
+        spec, {"name", "max_outstanding", "warm", "phases"}, "workload spec"
+    )
+    phases_spec = _require(spec, "phases", "workload spec")
+    if not isinstance(phases_spec, list) or not phases_spec:
+        raise SpecError("workload spec: phases must be a non-empty list")
+    phases = [_phase_from_spec(p, i) for i, p in enumerate(phases_spec)]
+    warm_clean, warm_dirty = _warm_from_spec(spec.get("warm", []), "warm")
+    return Workload(
+        str(spec.get("name", "spec_workload")),
+        phases,
+        interval_us,
+        max_outstanding=int(spec.get("max_outstanding", 256)),
+        warm_blocks=warm_clean,
+        warm_dirty_blocks=warm_dirty,
+    )
+
+
+def load_workload_spec(path: str | Path, interval_us: float) -> Workload:
+    """Parse a JSON spec file and build the workload."""
+    try:
+        spec = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise SpecError(f"{path}: invalid JSON ({exc})") from None
+    return workload_from_spec(spec, interval_us)

@@ -1,0 +1,168 @@
+"""Single-pattern synthetic workloads for the paper's four groups.
+
+Section III-B defines four characterization groups; each factory here
+produces a workload whose steady queue mix lands in one group, which the
+unit and integration tests use to validate the characterizer end-to-end:
+
+- :func:`random_read_workload` → Group 1 (R + P)
+- :func:`mixed_read_write_workload` → Group 2 (R + W)
+- :func:`random_write_workload` → Group 3 (W + E, W-heavy → random write)
+- :func:`sequential_write_workload` → Group 3 (sequential write)
+- :func:`sequential_read_workload` → Group 4 (P dominant)
+"""
+
+from __future__ import annotations
+
+from repro.workloads.access_patterns import (
+    HotColdPattern,
+    SequentialPattern,
+    UniformPattern,
+)
+from repro.workloads.base import PhaseSpec, Workload
+
+__all__ = [
+    "random_read_workload",
+    "random_write_workload",
+    "sequential_read_workload",
+    "sequential_write_workload",
+    "mixed_read_write_workload",
+]
+
+
+def random_read_workload(
+    interval_us: float,
+    n_intervals: int = 20,
+    cache_blocks: int = 4096,
+    rate_iops: float = 5000.0,
+    hot_prob: float = 0.97,
+    max_outstanding: int = 256,
+) -> Workload:
+    """Group 1: random reads, mostly hits, misses promoted."""
+    reads = HotColdPattern(
+        hot_start=0,
+        hot_span=int(cache_blocks * 0.73),
+        cold_start=cache_blocks * 32,
+        cold_span=cache_blocks * 24,
+        hot_prob=hot_prob,
+    )
+    phase = PhaseSpec(
+        label="random-read",
+        n_intervals=n_intervals,
+        rate_iops=rate_iops,
+        write_frac=0.0,
+        pattern_read=reads,
+        burst=True,
+    )
+    return Workload(
+        "random_read",
+        [phase],
+        interval_us,
+        max_outstanding,
+        warm_blocks=range(int(cache_blocks * 0.73)),
+    )
+
+
+def random_write_workload(
+    interval_us: float,
+    n_intervals: int = 20,
+    cache_blocks: int = 4096,
+    rate_iops: float = 1100.0,
+    max_outstanding: int = 256,
+) -> Workload:
+    """Group 3 (random write): writes over a footprint ≫ cache.
+
+    The default rate intentionally exceeds the disk subsystem's sustained
+    write (destage) capacity: bypassing *all* writes (RO) would overload
+    the disk, which is exactly why the paper keeps WB and sheds only the
+    over-threshold queue tail for this group.
+    """
+    writes = UniformPattern(0, cache_blocks * 15)
+    phase = PhaseSpec(
+        label="random-write",
+        n_intervals=n_intervals,
+        rate_iops=rate_iops,
+        write_frac=0.97,
+        pattern_read=writes,
+        pattern_write=writes,
+        burst=True,
+    )
+    return Workload("random_write", [phase], interval_us, max_outstanding)
+
+
+def sequential_read_workload(
+    interval_us: float,
+    n_intervals: int = 20,
+    cache_blocks: int = 4096,
+    rate_iops: float = 1200.0,
+    size_blocks: int = 8,
+    max_outstanding: int = 256,
+) -> Workload:
+    """Group 4: a cold sequential scan — every read misses and promotes."""
+    span = cache_blocks * 64  # far larger than cache: never re-hit
+    reads = SequentialPattern(cache_blocks * 64, span, stride=size_blocks)
+    phase = PhaseSpec(
+        label="seq-read",
+        n_intervals=n_intervals,
+        rate_iops=rate_iops,
+        write_frac=0.0,
+        pattern_read=reads,
+        size_blocks=size_blocks,
+        burst=True,
+    )
+    return Workload("seq_read", [phase], interval_us, max_outstanding)
+
+
+def sequential_write_workload(
+    interval_us: float,
+    n_intervals: int = 20,
+    cache_blocks: int = 4096,
+    rate_iops: float = 700.0,
+    size_blocks: int = 8,
+    max_outstanding: int = 256,
+) -> Workload:
+    """Group 3 (sequential write): a streaming write over a huge span."""
+    span = cache_blocks * 64
+    writes = SequentialPattern(cache_blocks * 160, span, stride=size_blocks)
+    phase = PhaseSpec(
+        label="seq-write",
+        n_intervals=n_intervals,
+        rate_iops=rate_iops,
+        write_frac=1.0,
+        pattern_read=writes,
+        pattern_write=writes,
+        size_blocks=size_blocks,
+        burst=True,
+    )
+    return Workload("seq_write", [phase], interval_us, max_outstanding)
+
+
+def mixed_read_write_workload(
+    interval_us: float,
+    n_intervals: int = 20,
+    cache_blocks: int = 4096,
+    rate_iops: float = 850.0,
+    write_frac: float = 0.70,
+    max_outstanding: int = 256,
+) -> Workload:
+    """Group 2: reads on a hot set, writes over a medium footprint."""
+    reads = HotColdPattern(
+        hot_start=0,
+        hot_span=int(cache_blocks * 0.44),
+        cold_start=cache_blocks * 32,
+        cold_span=cache_blocks * 24,
+        hot_prob=0.95,
+    )
+    writes = UniformPattern(cache_blocks * 8, int(cache_blocks * 0.44))
+    phase = PhaseSpec(
+        label="mixed-rw",
+        n_intervals=n_intervals,
+        rate_iops=rate_iops,
+        write_frac=write_frac,
+        pattern_read=reads,
+        pattern_write=writes,
+        burst=True,
+    )
+    warm = list(range(int(cache_blocks * 0.44))) + list(
+        range(cache_blocks * 8, cache_blocks * 8 + int(cache_blocks * 0.44))
+    )
+    return Workload("mixed_rw", [phase], interval_us, max_outstanding, warm_blocks=warm)

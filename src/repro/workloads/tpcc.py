@@ -1,0 +1,97 @@
+"""TPC-C-like workload (Fig. 4a / 5a / 6a).
+
+OLTP traffic: overwhelmingly small random reads with high locality (index
+and row lookups over a hot working set) and a trickle of writes.  The
+paper observes a burst at interval 3 whose SSD-queue mix is dominated by
+application reads (R) and promotions (P) — Group 1, random read — to
+which LBICA assigns the WO policy.
+
+The generator places a hot region sized to fit the cache (reads hit) next
+to a large cold region (reads miss and get promoted).  During the burst
+the arrival rate exceeds the SSD's service capacity — promotions are
+writes, and sustained writes push the SSD over its GC cliff — while the
+cold-miss stream stays within what the disk subsystem can absorb, which
+is exactly the imbalance LBICA's WO assignment corrects.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.access_patterns import HotColdPattern, UniformPattern
+from repro.workloads.base import PhaseSpec, Workload
+
+__all__ = ["tpcc_workload", "TPCC_TOTAL_INTERVALS", "TPCC_BURST_START"]
+
+#: Number of monitoring intervals in the paper's TPC-C run (Fig. 4a).
+TPCC_TOTAL_INTERVALS = 200
+#: Interval at which the paper reports the burst being detected.
+TPCC_BURST_START = 3
+#: Burst length (intervals); the paper shows elevated load through the
+#: first quarter of the run.
+TPCC_BURST_LEN = 53
+
+
+def tpcc_workload(
+    interval_us: float,
+    cache_blocks: int = 4096,
+    rate_scale: float = 1.0,
+    max_outstanding: int = 256,
+) -> Workload:
+    """Build the TPC-C-like workload.
+
+    Args:
+        interval_us: Monitoring interval length (µs).
+        cache_blocks: Cache capacity the footprints are sized against.
+        rate_scale: Multiplier on all arrival rates (for quick runs).
+        max_outstanding: Application concurrency bound.
+    """
+    hot_span = int(cache_blocks * 0.73)  # hot set comfortably inside cache
+    cold_start = cache_blocks * 32
+    cold_span = cache_blocks * 24  # cold set far larger than cache
+    reads = HotColdPattern(
+        hot_start=0,
+        hot_span=hot_span,
+        cold_start=cold_start,
+        cold_span=cold_span,
+        hot_prob=0.97,
+    )
+    writes = UniformPattern(0, hot_span)
+
+    normal_rate = 1500.0 * rate_scale
+    burst_rate = 5000.0 * rate_scale
+    tail = TPCC_TOTAL_INTERVALS - TPCC_BURST_START - TPCC_BURST_LEN
+
+    phases = [
+        PhaseSpec(
+            label="warmup",
+            n_intervals=TPCC_BURST_START,
+            rate_iops=normal_rate,
+            write_frac=0.005,
+            pattern_read=reads,
+            pattern_write=writes,
+        ),
+        PhaseSpec(
+            label="oltp-burst",
+            n_intervals=TPCC_BURST_LEN,
+            rate_iops=burst_rate,
+            write_frac=0.005,
+            pattern_read=reads,
+            pattern_write=writes,
+            burst=True,
+        ),
+        PhaseSpec(
+            label="steady",
+            n_intervals=tail,
+            rate_iops=normal_rate,
+            write_frac=0.005,
+            pattern_read=reads,
+            pattern_write=writes,
+        ),
+    ]
+    return Workload(
+        "tpcc",
+        phases,
+        interval_us,
+        max_outstanding=max_outstanding,
+        warm_blocks=range(hot_span),
+        warm_dirty_blocks=range(cache_blocks * 200, cache_blocks * 200 + 128),
+    )

@@ -1,0 +1,82 @@
+"""Web-server-like workload (Fig. 4c / 5c / 6c).
+
+The paper's web server hits its burst immediately: at the first interval
+the SSD queue is dominated by application reads and writes (R 17.9% /
+W 63.8% / P 7.9% / E 10.4%) — Group 2, mixed read-write — and LBICA
+assigns RO, shedding 63% of the cache load.  The run spans 175 intervals
+(shorter x-axis than the other two figures).
+
+The generator opens directly in a mixed read-write burst (session-state
+and log writes over a footprint larger than the cache, content reads on
+a hot set), then settles into a moderate steady state.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.access_patterns import HotColdPattern, UniformPattern
+from repro.workloads.base import PhaseSpec, Workload
+
+__all__ = ["web_server_workload", "WEB_TOTAL_INTERVALS", "WEB_BURST_START"]
+
+#: Number of monitoring intervals in the paper's web run (Fig. 4c).
+WEB_TOTAL_INTERVALS = 175
+#: The paper reports detection at the first interval.
+WEB_BURST_START = 1
+
+
+def web_server_workload(
+    interval_us: float,
+    cache_blocks: int = 4096,
+    rate_scale: float = 1.0,
+    max_outstanding: int = 256,
+) -> Workload:
+    """Build the web-server-like workload (see module docstring)."""
+    hot_span = int(cache_blocks * 0.44)
+    reads = HotColdPattern(
+        hot_start=0,
+        hot_span=hot_span,
+        cold_start=cache_blocks * 32,
+        cold_span=cache_blocks * 24,
+        hot_prob=0.94,
+    )
+    writes = UniformPattern(cache_blocks * 8, int(cache_blocks * 0.44))
+
+    phases = [
+        PhaseSpec(
+            label="ramp",
+            n_intervals=WEB_BURST_START,
+            rate_iops=400.0 * rate_scale,
+            write_frac=0.45,
+            pattern_read=reads,
+            pattern_write=writes,
+        ),
+        PhaseSpec(
+            label="flash-crowd",
+            n_intervals=40,  # intervals 1..40
+            rate_iops=850.0 * rate_scale,
+            write_frac=0.70,
+            pattern_read=reads,
+            pattern_write=writes,
+            burst=True,
+        ),
+        PhaseSpec(
+            label="steady",
+            n_intervals=WEB_TOTAL_INTERVALS - WEB_BURST_START - 40,
+            rate_iops=400.0 * rate_scale,
+            write_frac=0.45,
+            pattern_read=reads,
+            pattern_write=writes,
+        ),
+    ]
+    warm = list(range(hot_span)) + list(
+        range(cache_blocks * 8, cache_blocks * 8 + int(cache_blocks * 0.44))
+    )
+    spool = range(cache_blocks * 200, cache_blocks * 200 + cache_blocks // 16)
+    return Workload(
+        "web",
+        phases,
+        interval_us,
+        max_outstanding=max_outstanding,
+        warm_blocks=warm,
+        warm_dirty_blocks=spool,
+    )

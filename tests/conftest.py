@@ -1,0 +1,50 @@
+"""Shared fixtures: simulators, devices, controllers, tiny systems."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.controller import CacheController
+from repro.cache.store import CacheStore
+from repro.cache.write_policy import WritePolicy
+from repro.devices.base import StorageDevice
+from repro.devices.hdd import HddConfig, HddModel
+from repro.devices.ssd import SsdConfig, SsdModel
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator."""
+    return Simulator()
+
+
+@pytest.fixture
+def ssd(sim) -> StorageDevice:
+    """A deterministic (jitter-free) SSD device."""
+    model = SsdModel(SsdConfig(jitter_sigma=0.0))
+    return StorageDevice(sim, "ssd", model, depth=1)
+
+
+@pytest.fixture
+def hdd(sim) -> StorageDevice:
+    """A deterministic (jitter-free) HDD device."""
+    model = HddModel(HddConfig(jitter_sigma=0.0))
+    return StorageDevice(sim, "hdd", model, depth=1)
+
+
+@pytest.fixture
+def store() -> CacheStore:
+    """A small 8-way cache store (64 blocks)."""
+    return CacheStore(64, associativity=8, replacement="lru")
+
+
+@pytest.fixture
+def controller(sim, ssd, hdd, store) -> CacheController:
+    """A WB cache controller over the deterministic devices."""
+    return CacheController(sim, ssd, hdd, store, policy=WritePolicy.WB)
+
+
+def drain(sim: Simulator) -> None:
+    """Run the simulator until no events remain."""
+    sim.run()

@@ -1,0 +1,154 @@
+"""Unit tests for metrics, series, reports, and ASCII plotting."""
+
+import pytest
+
+from repro.analysis.ascii_plot import ascii_bar_chart, ascii_line_chart
+from repro.analysis.metrics import (
+    latency_summary,
+    load_reduction,
+    mean_over_intervals,
+    percentile,
+)
+from repro.analysis.report import comparison_table, format_table
+from repro.analysis.series import IntervalSeries, series_from_samples, write_series_csv
+from repro.trace.iostat import IntervalSample
+
+
+def sample(index=0, cache_qtime=100.0, disk_qtime=50.0, avg_latency=10.0):
+    return IntervalSample(
+        index=index,
+        t_start=index * 100.0,
+        t_end=(index + 1) * 100.0,
+        ssd_qsize_max=5,
+        ssd_qsize_avg=2.0,
+        hdd_qsize_max=1,
+        hdd_qsize_avg=0.5,
+        ssd_latency=20.0,
+        hdd_latency=50.0,
+        cache_qtime=cache_qtime,
+        disk_qtime=disk_qtime,
+        completed=10,
+        reads=6,
+        writes=4,
+        bypassed=0,
+        avg_latency=avg_latency,
+        max_latency=avg_latency * 3,
+    )
+
+
+class TestMetrics:
+    def test_percentile(self):
+        vals = list(range(1, 101))
+        assert percentile(vals, 50) == pytest.approx(50.5)
+        assert percentile([], 50) == 0.0
+        with pytest.raises(ValueError):
+            percentile(vals, 101)
+
+    def test_latency_summary(self):
+        s = latency_summary([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.maximum == 4.0
+        assert s.as_dict()["p50"] == pytest.approx(2.5)
+
+    def test_latency_summary_empty(self):
+        s = latency_summary([])
+        assert s.count == 0
+        assert s.mean == 0.0
+
+    def test_load_reduction(self):
+        assert load_reduction([100.0] * 4, [50.0] * 4) == pytest.approx(0.5)
+        assert load_reduction([0.0], [10.0]) == 0.0  # zero baseline guard
+        # negative = treated is worse
+        assert load_reduction([50.0], [100.0]) == pytest.approx(-1.0)
+
+    def test_load_reduction_interval_subset(self):
+        base = [100.0, 0.0, 100.0, 0.0]
+        treat = [50.0, 0.0, 50.0, 0.0]
+        assert load_reduction(base, treat, intervals=[0, 2]) == pytest.approx(0.5)
+
+    def test_mean_over_intervals_out_of_range_ignored(self):
+        assert mean_over_intervals([1.0, 2.0], intervals=[0, 5]) == 1.0
+
+
+class TestSeries:
+    def test_from_samples(self):
+        samples = [sample(i, cache_qtime=float(i)) for i in range(5)]
+        series = series_from_samples(samples, "cache_qtime")
+        assert series.values == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert series.mean == 2.0
+        assert series.maximum == 4.0
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            series_from_samples([], "nope")
+
+    def test_smoothing_preserves_length(self):
+        series = IntervalSeries("s", [0.0, 10.0, 0.0, 10.0, 0.0])
+        sm = series.smoothed(3)
+        assert len(sm) == 5
+        assert max(sm.values) < 10.0
+
+    def test_restricted(self):
+        series = IntervalSeries("s", [1.0, 2.0, 3.0])
+        assert series.restricted([0, 2, 9]).values == [1.0, 3.0]
+
+    def test_csv_round_trip(self, tmp_path):
+        a = IntervalSeries("a", [1.0, 2.0])
+        b = IntervalSeries("b", [3.0])
+        path = tmp_path / "out.csv"
+        write_series_csv(path, [a, b])
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "interval,a,b"
+        assert lines[1] == "0,1.000,3.000"
+        assert lines[2] == "1,2.000,"
+
+    def test_csv_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_series_csv(tmp_path / "x.csv", [])
+
+
+class TestAsciiPlots:
+    def test_line_chart_renders(self):
+        chart = ascii_line_chart(
+            {"wb": [1.0, 5.0, 2.0], "lbica": [0.5, 1.0, 0.5]},
+            title="t",
+            width=30,
+            height=8,
+        )
+        assert "t" in chart
+        assert "*" in chart and "+" in chart
+        assert "wb" in chart and "lbica" in chart
+
+    def test_line_chart_validations(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart({})
+        with pytest.raises(ValueError):
+            ascii_line_chart({"a": []})
+        with pytest.raises(ValueError):
+            ascii_line_chart({"a": [1.0]}, width=2)
+
+    def test_bar_chart_renders(self):
+        chart = ascii_bar_chart({"TPCC": {"WB": 100.0, "LBICA": 25.0}})
+        assert "TPCC WB" in chart
+        assert chart.count("#") > 0
+
+    def test_bar_chart_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart({})
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bb"], [["x", 1.5], ["yy", 2]])
+        lines = table.splitlines()
+        assert lines[0].startswith("a")
+        assert "1.500" in table
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["x", "y"]])
+
+    def test_comparison_table(self):
+        out = comparison_table({"m": ("30%", "44%", "direction holds")})
+        assert "paper" in out and "44%" in out

@@ -1,0 +1,56 @@
+"""Tests for the experiments CLI."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_targets_accepted(self):
+        parser = build_parser()
+        for target in ("fig4", "fig5", "fig6", "fig7", "headline", "ablation", "all"):
+            args = parser.parse_args([target])
+            assert args.target == target
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig4"])
+        assert args.workloads == ["tpcc", "mail", "web"]
+        assert args.out is None
+        assert not args.quick
+        assert args.seed == 7
+
+    def test_options(self):
+        args = build_parser().parse_args(
+            ["fig6", "--workloads", "mail", "--quick", "--seed", "3", "--out", "x"]
+        )
+        assert args.workloads == ["mail"]
+        assert args.quick
+        assert args.seed == 3
+        assert args.out == "x"
+
+
+class TestMain:
+    def test_fig7_quick_single_workload(self, capsys, tmp_path):
+        code = main(
+            ["fig7", "--quick", "--quiet", "--workloads", "web", "--out", str(tmp_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fig7 shape checks" in out
+        assert (tmp_path / "fig7.txt").exists()
+
+    def test_fig6_quick(self, capsys):
+        code = main(["fig6", "--quick", "--quiet", "--workloads", "web"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "policy assignments" in out
+
+    def test_headline_quick(self, capsys):
+        code = main(["headline", "--quick", "--quiet"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "headline claims" in out

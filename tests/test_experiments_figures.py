@@ -1,0 +1,96 @@
+"""Integration tests for the figure generators and headline report."""
+
+import pytest
+
+from repro.config import quick_config
+from repro.experiments.ablation import run_ablations
+from repro.experiments.fig4 import generate_fig4
+from repro.experiments.fig5 import generate_fig5
+from repro.experiments.fig6 import generate_fig6
+from repro.experiments.fig7 import generate_fig7
+from repro.experiments.figures import save_figure_artifacts
+from repro.experiments.headline import generate_headline
+from repro.experiments.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(quick_config())
+
+
+class TestFig4:
+    def test_generates_and_checks_pass(self, runner):
+        fig = generate_fig4(runner)
+        assert fig.figure_id == "fig4"
+        assert set(fig.series) == {"tpcc", "mail", "web"}
+        assert all(len(s) > 0 for panel in fig.series.values() for s in panel)
+        assert fig.all_passed, fig.checks_table()
+
+    def test_artifacts_written(self, runner, tmp_path):
+        fig = generate_fig4(runner, workloads=("tpcc",))
+        paths = save_figure_artifacts(fig, tmp_path)
+        assert any(p.suffix == ".csv" for p in paths)
+        assert any(p.suffix == ".txt" for p in paths)
+        for p in paths:
+            assert p.exists() and p.stat().st_size > 0
+
+
+class TestFig5:
+    def test_generates_and_checks_pass(self, runner):
+        fig = generate_fig5(runner)
+        assert fig.figure_id == "fig5"
+        assert fig.all_passed, fig.checks_table()
+
+
+class TestFig6:
+    def test_policy_sequences_match_paper(self, runner):
+        fig = generate_fig6(runner)
+        by_name = {c.name: c for c in fig.checks}
+        assert by_name["tpcc: policy sequence"].passed
+        assert by_name["mail: policy sequence"].passed
+        assert by_name["web: policy sequence"].passed
+
+    def test_timelines_exported(self, runner):
+        fig = generate_fig6(runner)
+        timelines = fig.extra["timelines"]
+        assert timelines["tpcc"], "TPC-C must have at least one assignment"
+        assert timelines["tpcc"][0][1] == "WO"
+
+
+class TestFig7:
+    def test_bars_and_ordering(self, runner):
+        fig = generate_fig7(runner)
+        bars = fig.extra["bars"]
+        for workload in ("TPCC", "MAIL", "WEB"):
+            assert bars[workload]["LBICA"] < bars[workload]["WB"]
+            assert bars[workload]["LBICA"] < bars[workload]["SIB"]
+        assert fig.all_passed, fig.checks_table()
+
+
+class TestHeadline:
+    def test_directions_hold(self, runner):
+        report = generate_headline(runner)
+        assert report.all_directions_hold, report.table()
+        assert report.avg_cache_cut_vs_sib > 0
+        assert report.avg_cache_cut_vs_wb_burst > 0
+
+    def test_table_renders(self, runner):
+        table = generate_headline(runner).table()
+        assert "H1" in table and "paper" in table
+
+
+class TestAblation:
+    def test_core_variants_run(self):
+        # the smallest meaningful subset to keep CI fast
+        result = run_ablations(
+            "web",
+            quick_config(),
+            include_replacement_sweep=False,
+            include_margin_sweep=False,
+        )
+        rows = result.rows
+        assert "lbica (adaptive)" in rows
+        assert "fixed WB" in rows
+        assert rows["lbica (adaptive)"]["mean_latency_us"] < rows["fixed WB"]["mean_latency_us"]
+        assert "sib (strict WT+WO)" in rows
+        assert result.table()

@@ -1,0 +1,118 @@
+"""Unit tests for requests and device operations."""
+
+import pytest
+
+from repro.io.request import BLOCK_BYTES, DeviceOp, OpTag, Request
+
+
+class TestRequest:
+    def test_basic_fields(self):
+        req = Request(10.0, lba=100, nblocks=4, is_write=False)
+        assert req.lba == 100
+        assert req.end_lba == 104
+        assert not req.is_write
+        assert not req.done
+
+    def test_ids_monotonic(self):
+        a = Request(0.0, 0, 1, False)
+        b = Request(0.0, 0, 1, False)
+        assert b.req_id > a.req_id
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            Request(0.0, 0, 0, False)
+        with pytest.raises(ValueError):
+            Request(0.0, -1, 1, False)
+
+    def test_completion_after_all_sync_ops(self):
+        req = Request(5.0, 0, 2, True)
+        req.add_wait(2)
+        assert not req.op_done(8.0)
+        assert req.op_done(9.0)
+        assert req.done
+        assert req.latency == 4.0
+
+    def test_completion_callback_fires_once(self):
+        calls = []
+        req = Request(0.0, 0, 1, False, on_complete=calls.append)
+        req.add_wait(1)
+        req.op_done(3.0)
+        assert calls == [req]
+
+    def test_completion_underflow_raises(self):
+        req = Request(0.0, 0, 1, False)
+        req.add_wait(1)
+        req.op_done(1.0)
+        with pytest.raises(RuntimeError):
+            req.op_done(2.0)
+
+    def test_latency_before_completion_raises(self):
+        req = Request(0.0, 0, 1, False)
+        with pytest.raises(RuntimeError):
+            _ = req.latency
+
+    def test_block_bytes_constant(self):
+        assert BLOCK_BYTES == 4096
+
+
+class TestDeviceOp:
+    def test_tags_are_paper_letters(self):
+        assert OpTag.READ.value == "R"
+        assert OpTag.WRITE.value == "W"
+        assert OpTag.PROMOTE.value == "P"
+        assert OpTag.EVICT.value == "E"
+
+    def test_end_lba(self):
+        op = DeviceOp(10, 3, is_write=False, tag=OpTag.READ)
+        assert op.end_lba == 13
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceOp(0, 0, is_write=False, tag=OpTag.READ)
+
+    def test_queue_time_requires_dispatch(self):
+        op = DeviceOp(0, 1, is_write=False, tag=OpTag.READ)
+        with pytest.raises(RuntimeError):
+            _ = op.queue_time
+        op.enqueue_time = 1.0
+        op.dispatch_time = 4.0
+        assert op.queue_time == 3.0
+
+    def test_service_latency_requires_completion(self):
+        op = DeviceOp(0, 1, is_write=False, tag=OpTag.READ)
+        op.enqueue_time = 1.0
+        with pytest.raises(RuntimeError):
+            _ = op.service_latency
+        op.complete_time = 6.0
+        assert op.service_latency == 5.0
+
+
+class TestMerging:
+    def test_contiguous_same_tag_merges(self):
+        a = DeviceOp(0, 2, is_write=True, tag=OpTag.WRITE)
+        b = DeviceOp(2, 2, is_write=True, tag=OpTag.WRITE)
+        assert a.can_merge_back(b, max_blocks=8)
+        a.absorb(b)
+        assert a.nblocks == 4
+        assert b in a.merged
+
+    def test_non_contiguous_does_not_merge(self):
+        a = DeviceOp(0, 2, is_write=True, tag=OpTag.WRITE)
+        b = DeviceOp(5, 2, is_write=True, tag=OpTag.WRITE)
+        assert not a.can_merge_back(b, max_blocks=8)
+
+    def test_different_direction_does_not_merge(self):
+        a = DeviceOp(0, 2, is_write=True, tag=OpTag.WRITE)
+        b = DeviceOp(2, 2, is_write=False, tag=OpTag.READ)
+        assert not a.can_merge_back(b, max_blocks=8)
+
+    def test_different_tag_does_not_merge(self):
+        a = DeviceOp(0, 2, is_write=True, tag=OpTag.WRITE)
+        b = DeviceOp(2, 2, is_write=True, tag=OpTag.PROMOTE)
+        assert not a.can_merge_back(b, max_blocks=8)
+
+    def test_merge_bound_respected(self):
+        a = DeviceOp(0, 6, is_write=True, tag=OpTag.WRITE)
+        b = DeviceOp(6, 4, is_write=True, tag=OpTag.WRITE)
+        assert not a.can_merge_back(b, max_blocks=8)
+        assert a.can_merge_back(b, max_blocks=16)

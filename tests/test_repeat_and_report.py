@@ -1,0 +1,67 @@
+"""Tests for multi-seed repetition and the markdown report generator."""
+
+import pytest
+
+from repro.config import quick_config
+from repro.experiments.repeat import RepeatedMetric, run_repeated
+from repro.experiments.report_md import generate_markdown_report
+from repro.experiments.runner import ExperimentRunner
+
+
+class TestRepeatedMetric:
+    def test_from_values(self):
+        m = RepeatedMetric.from_values("x", [1.0, 2.0, 3.0])
+        assert m.mean == pytest.approx(2.0)
+        assert m.minimum == 1.0
+        assert m.maximum == 3.0
+        assert m.std > 0
+
+    def test_single_value_zero_std(self):
+        m = RepeatedMetric.from_values("x", [5.0])
+        assert m.std == 0.0
+
+    def test_format(self):
+        m = RepeatedMetric.from_values("x", [1.0, 3.0])
+        assert "±" in m.format()
+
+
+class TestRunRepeated:
+    def test_aggregates_over_seeds(self):
+        result = run_repeated("web", "lbica", seeds=[1, 2, 3], config=quick_config())
+        assert result.seeds == (1, 2, 3)
+        assert len(result.runs) == 3
+        assert result.mean_latency.mean > 0
+        assert result.completed.mean > 0
+
+    def test_seed_variation_is_bounded(self):
+        """The LBICA result must be robust: relative latency spread
+        across seeds stays within a sane band."""
+        result = run_repeated("web", "lbica", seeds=[1, 2, 3], config=quick_config())
+        assert result.coefficient_of_variation() < 1.0
+
+    def test_lbica_beats_wb_on_every_seed(self):
+        cfg = quick_config()
+        seeds = [4, 5]
+        lbica = run_repeated("web", "lbica", seeds, cfg)
+        wb = run_repeated("web", "wb", seeds, cfg)
+        for lb_run, wb_run in zip(lbica.runs, wb.runs):
+            assert lb_run.mean_latency < wb_run.mean_latency
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            run_repeated("web", "wb", seeds=[])
+
+
+class TestMarkdownReport:
+    def test_report_contains_all_sections(self):
+        runner = ExperimentRunner(quick_config())
+        md = generate_markdown_report(runner)
+        assert "## Cache and disk load (Figures 4 and 5)" in md
+        assert "## Policy timelines (Figure 6)" in md
+        assert "## Average latency (Figure 7)" in md
+        assert "## Headline claims" in md
+        # every workload appears in the tables
+        for workload in ("tpcc", "mail", "web"):
+            assert workload in md
+        # markdown table syntax
+        assert md.count("|---") >= 4

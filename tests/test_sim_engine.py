@@ -1,0 +1,168 @@
+"""Unit tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, fired.append, "late")
+        sim.schedule(2.0, fired.append, "early")
+        sim.schedule(3.5, fired.append, "middle")
+        sim.run()
+        assert fired == ["early", "middle", "late"]
+
+    def test_simultaneous_events_fire_in_scheduling_order(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(1.0, fired.append, i)
+        sim.run()
+        assert fired == list(range(10))
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        sim.schedule(7.25, lambda: None)
+        sim.run()
+        assert sim.now == 7.25
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_at(4.0, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [4.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_scheduling_into_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_zero_delay_allowed(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(0.0, fired.append, 1)
+        sim.run()
+        assert fired == [1]
+
+    def test_events_scheduled_during_run_are_processed(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                sim.schedule(1.0, chain, n + 1)
+
+        sim.schedule(1.0, chain, 0)
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+        assert sim.now == 4.0
+
+
+class TestRunUntil:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(10.0, fired.append, "b")
+        sim.run(until=5.0)
+        assert fired == ["a"]
+        assert sim.now == 5.0
+        sim.run()
+        assert fired == ["a", "b"]
+
+    def test_event_exactly_at_until_fires(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, fired.append, "edge")
+        sim.run(until=5.0)
+        assert fired == ["edge"]
+
+    def test_run_until_with_empty_heap_advances_clock(self):
+        sim = Simulator()
+        sim.run(until=42.0)
+        assert sim.now == 42.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        ev = sim.schedule(1.0, fired.append, "x")
+        sim.cancel(ev)
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_lazy_but_counted_out(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        sim.cancel(ev)
+        assert sim.pending_events == 1  # still in heap
+        sim.run()
+        assert sim.events_processed == 0
+
+    def test_cancel_one_of_many(self):
+        sim = Simulator()
+        fired = []
+        keep = sim.schedule(1.0, fired.append, "keep")
+        drop = sim.schedule(1.0, fired.append, "drop")
+        sim.cancel(drop)
+        sim.run()
+        assert fired == ["keep"]
+        assert keep.active
+
+
+class TestStepAndStop:
+    def test_step_processes_single_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(2.0, fired.append, 2)
+        assert sim.step()
+        assert fired == [1]
+        assert sim.step()
+        assert fired == [1, 2]
+        assert not sim.step()
+
+    def test_stop_interrupts_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(2.0, lambda: sim.stop())
+        sim.schedule(3.0, fired.append, 3)
+        sim.run()
+        assert fired == [1]
+        sim.run()  # resumes
+        assert fired == [1, 3]
+
+    def test_peek_time_skips_cancelled(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.cancel(ev)
+        assert sim.peek_time() == 2.0
+
+    def test_peek_time_empty(self):
+        assert Simulator().peek_time() is None
+
+
+class TestCounters:
+    def test_events_processed_counts_only_executed(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        ev = sim.schedule(2.0, lambda: None)
+        sim.cancel(ev)
+        sim.run()
+        assert sim.events_processed == 5

@@ -1,0 +1,64 @@
+"""Unit tests for the named random-stream registry."""
+
+import pytest
+
+from repro.sim.rng import RngRegistry, stable_key
+
+
+class TestStableKey:
+    def test_deterministic(self):
+        assert stable_key("ssd.jitter") == stable_key("ssd.jitter")
+
+    def test_distinct_names_distinct_keys(self):
+        assert stable_key("a") != stable_key("b")
+
+    def test_32bit_range(self):
+        for name in ("", "x", "a.very.long.stream.name"):
+            assert 0 <= stable_key(name) <= 0xFFFFFFFF
+
+
+class TestRegistry:
+    def test_same_name_returns_same_generator(self):
+        rngs = RngRegistry(1)
+        assert rngs.stream("a") is rngs.stream("a")
+
+    def test_streams_are_independent_of_creation_order(self):
+        r1 = RngRegistry(42)
+        r2 = RngRegistry(42)
+        # create in different orders
+        a1 = r1.stream("alpha").random(5).tolist()
+        b1 = r1.stream("beta").random(5).tolist()
+        b2 = r2.stream("beta").random(5).tolist()
+        a2 = r2.stream("alpha").random(5).tolist()
+        assert a1 == a2
+        assert b1 == b2
+
+    def test_different_seeds_differ(self):
+        x = RngRegistry(1).stream("s").random(8).tolist()
+        y = RngRegistry(2).stream("s").random(8).tolist()
+        assert x != y
+
+    def test_different_names_differ(self):
+        rngs = RngRegistry(7)
+        assert rngs.stream("a").random(8).tolist() != rngs.stream("b").random(8).tolist()
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            RngRegistry(-1)
+
+    def test_fork_changes_streams(self):
+        base = RngRegistry(9)
+        fork = base.fork(1)
+        assert fork.seed != base.seed
+        assert (
+            base.stream("s").random(4).tolist() != fork.stream("s").random(4).tolist()
+        )
+
+    def test_fork_deterministic(self):
+        assert RngRegistry(9).fork(3).seed == RngRegistry(9).fork(3).seed
+
+    def test_stream_names_sorted(self):
+        rngs = RngRegistry(0)
+        rngs.stream("zeta")
+        rngs.stream("alpha")
+        assert rngs.stream_names == ["alpha", "zeta"]

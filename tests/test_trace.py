@@ -1,0 +1,207 @@
+"""Unit tests for the iostat/blktrace substrates and the trace parser."""
+
+from collections import Counter
+
+import pytest
+
+from repro.io.request import DeviceOp, OpTag, Request
+from repro.trace.blktrace import BlkTracer
+from repro.trace.iostat import IostatMonitor, eq1_queue_time
+from repro.trace.parser import (
+    TraceParseError,
+    dumps_trace,
+    load_trace,
+    loads_trace,
+    save_trace,
+)
+from repro.trace.records import TraceRecord
+
+
+def read_op(lba=0):
+    return DeviceOp(lba, 1, is_write=False, tag=OpTag.READ)
+
+
+class TestEq1:
+    def test_formula(self):
+        assert eq1_queue_time(10, 100.0) == 1000.0
+        assert eq1_queue_time(0, 100.0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            eq1_queue_time(-1, 1.0)
+        with pytest.raises(ValueError):
+            eq1_queue_time(1, -1.0)
+
+
+class TestBlkTracer:
+    def test_records_qdc_transitions(self, sim, ssd):
+        tracer = BlkTracer(sim)
+        tracer.attach(ssd)
+        ssd.submit(read_op())
+        sim.run()
+        assert [r.action for r in tracer.records] == ["Q", "D", "C"]
+
+    def test_double_attach_rejected(self, sim, ssd):
+        tracer = BlkTracer(sim)
+        tracer.attach(ssd)
+        with pytest.raises(ValueError):
+            tracer.attach(ssd)
+
+    def test_queue_snapshot_matches_pending(self, sim, ssd):
+        tracer = BlkTracer(sim)
+        tracer.attach(ssd)
+        for i in range(3):
+            ssd.submit(DeviceOp(i * 10, 1, is_write=True, tag=OpTag.PROMOTE))
+        snap = tracer.queue_snapshot("ssd")
+        # one op is in flight (depth 1), two pending
+        assert snap[OpTag.PROMOTE] == 2
+
+    def test_queue_mix_fractions(self, sim, ssd):
+        tracer = BlkTracer(sim)
+        tracer.attach(ssd)
+        ssd.submit(read_op(0))  # goes in flight
+        ssd.submit(read_op(100))
+        ssd.submit(DeviceOp(200, 1, is_write=True, tag=OpTag.WRITE))
+        mix = tracer.queue_mix("ssd")
+        assert mix["R"] == pytest.approx(0.5)
+        assert mix["W"] == pytest.approx(0.5)
+
+    def test_mix_of_unknown_device_raises(self, sim):
+        tracer = BlkTracer(sim)
+        with pytest.raises(KeyError):
+            tracer.queue_snapshot("nope")
+
+    def test_window_counts_reset_on_take(self, sim, ssd):
+        tracer = BlkTracer(sim)
+        tracer.attach(ssd)
+        ssd.submit(read_op(0))
+        counts = tracer.take_window_counts("ssd")
+        assert counts[OpTag.READ] == 1
+        assert tracer.take_window_counts("ssd") == Counter()
+
+    def test_ring_buffer_drops_old_records(self, sim, ssd):
+        tracer = BlkTracer(sim, capacity=5)
+        tracer.attach(ssd)
+        for i in range(10):
+            ssd.submit(read_op(i * 100))
+        sim.run()
+        assert len(tracer.records) == 5
+        assert tracer.dropped > 0
+
+    def test_disabled_tracer_records_nothing(self, sim, ssd):
+        tracer = BlkTracer(sim)
+        tracer.attach(ssd)
+        tracer.enabled = False
+        ssd.submit(read_op())
+        sim.run()
+        assert len(tracer.records) == 0
+
+
+class TestIostatMonitor:
+    def test_samples_every_interval(self, sim, ssd, hdd):
+        monitor = IostatMonitor(sim, ssd, hdd, interval_us=100.0)
+        monitor.start()
+        sim.run(until=1000.0)
+        assert len(monitor.samples) == 10
+        assert monitor.samples[0].t_end == pytest.approx(100.0)
+
+    def test_queue_peaks_captured(self, sim, ssd, hdd):
+        monitor = IostatMonitor(sim, ssd, hdd, interval_us=10_000.0)
+        monitor.start()
+        for i in range(5):
+            ssd.submit(read_op(i * 100))
+        sim.run(until=10_000.0)
+        assert monitor.samples[0].ssd_qsize_max == 5
+        assert monitor.samples[0].cache_qtime > 0
+
+    def test_completion_accounting(self, sim, ssd, hdd):
+        monitor = IostatMonitor(sim, ssd, hdd, interval_us=10_000.0)
+        monitor.start()
+        req = Request(0.0, 0, 1, False)
+        req.add_wait()
+        req.op_done(500.0)
+        monitor.record_completion(req)
+        sim.run(until=10_000.0)
+        s = monitor.samples[0]
+        assert s.completed == 1
+        assert s.reads == 1
+        assert s.avg_latency == pytest.approx(500.0)
+        assert s.max_latency == pytest.approx(500.0)
+
+    def test_accumulator_resets_between_intervals(self, sim, ssd, hdd):
+        monitor = IostatMonitor(sim, ssd, hdd, interval_us=100.0)
+        monitor.start()
+        req = Request(0.0, 0, 1, True)
+        req.add_wait()
+        req.op_done(10.0)
+        monitor.record_completion(req)
+        sim.run(until=300.0)
+        assert monitor.samples[0].completed == 1
+        assert monitor.samples[1].completed == 0
+
+    def test_bottleneck_flag(self, sim, ssd, hdd):
+        monitor = IostatMonitor(sim, ssd, hdd, interval_us=100.0)
+        monitor.start()
+        for i in range(50):
+            ssd.submit(read_op(i * 100))
+        sim.run(until=100.0)
+        assert monitor.samples[0].bottleneck_is_cache
+
+    def test_invalid_interval_rejected(self, sim, ssd, hdd):
+        with pytest.raises(ValueError):
+            IostatMonitor(sim, ssd, hdd, interval_us=0)
+
+    def test_on_sample_callback(self, sim, ssd, hdd):
+        seen = []
+        monitor = IostatMonitor(sim, ssd, hdd, 100.0, on_sample=seen.append)
+        monitor.start()
+        sim.run(until=250.0)
+        assert len(seen) == 2
+
+
+class TestTraceParser:
+    def _records(self):
+        return [
+            TraceRecord(1.5, "ssd", "Q", OpTag.READ, False, 100, 1, 7),
+            TraceRecord(2.5, "ssd", "D", OpTag.READ, False, 100, 1, 7),
+            TraceRecord(9.0, "hdd", "C", OpTag.EVICT, True, 200, 8, 8),
+        ]
+
+    def test_round_trip_string(self):
+        recs = self._records()
+        assert loads_trace(dumps_trace(recs)) == recs
+
+    def test_round_trip_file(self, tmp_path):
+        recs = self._records()
+        path = tmp_path / "trace.txt"
+        assert save_trace(recs, path) == 3
+        assert load_trace(path) == recs
+
+    def test_comments_and_blanks_ignored(self):
+        text = "# header\n\n1.0 ssd Q R R 5 1 1\n"
+        assert len(loads_trace(text)) == 1
+
+    def test_malformed_field_count(self):
+        with pytest.raises(TraceParseError) as err:
+            loads_trace("1.0 ssd Q R R 5 1\n")
+        assert err.value.lineno == 1
+
+    def test_bad_action(self):
+        with pytest.raises(TraceParseError):
+            loads_trace("1.0 ssd X R R 5 1 1\n")
+
+    def test_bad_tag(self):
+        with pytest.raises(TraceParseError):
+            loads_trace("1.0 ssd Q Z R 5 1 1\n")
+
+    def test_bad_rw(self):
+        with pytest.raises(TraceParseError):
+            loads_trace("1.0 ssd Q R B 5 1 1\n")
+
+    def test_bad_numbers(self):
+        with pytest.raises(TraceParseError):
+            loads_trace("abc ssd Q R R 5 1 1\n")
+        with pytest.raises(TraceParseError):
+            loads_trace("1.0 ssd Q R R 5 0 1\n")  # zero nblocks
+        with pytest.raises(TraceParseError):
+            loads_trace("-1.0 ssd Q R R 5 1 1\n")  # negative time

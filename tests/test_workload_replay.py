@@ -1,0 +1,77 @@
+"""Tests for trace replay: capture → serialize → parse → replay."""
+
+import pytest
+
+from repro.config import quick_config
+from repro.experiments.system import ExperimentSystem
+from repro.io.request import OpTag
+from repro.trace.parser import dumps_trace, loads_trace
+from repro.trace.records import TraceRecord
+from repro.workloads.replay import ReplayWorkload
+from repro.workloads.synthetic import mixed_read_write_workload
+
+
+def rec(time, action="Q", tag=OpTag.READ, is_write=False, lba=0, n=1, op_id=0):
+    return TraceRecord(time, "ssd", action, tag, is_write, lba, n, op_id)
+
+
+class TestReplayFiltering:
+    def test_only_application_q_records_kept(self):
+        records = [
+            rec(1.0, "Q", OpTag.READ),
+            rec(2.0, "D", OpTag.READ),  # dropped: dispatch
+            rec(3.0, "Q", OpTag.PROMOTE, is_write=True),  # dropped: cache traffic
+            rec(4.0, "Q", OpTag.EVICT),  # dropped: cache traffic
+            rec(5.0, "Q", OpTag.WRITE, is_write=True),
+        ]
+        replay = ReplayWorkload(records)
+        assert len(replay.records) == 2
+
+    def test_records_sorted_by_time(self):
+        records = [rec(5.0, lba=2), rec(1.0, lba=1)]
+        replay = ReplayWorkload(records)
+        assert [r.lba for r in replay.records] == [1, 2]
+
+    def test_time_scale(self):
+        replay = ReplayWorkload([rec(100.0)], time_scale=0.5)
+        assert replay.duration_us == 50.0
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            ReplayWorkload([], time_scale=0)
+
+    def test_empty_trace_duration_zero(self):
+        assert ReplayWorkload([]).duration_us == 0.0
+
+
+class TestReplayExecution:
+    def test_arrivals_at_original_timestamps(self, sim):
+        records = [rec(10.0, lba=1), rec(20.0, lba=2)]
+        replay = ReplayWorkload(records)
+        arrivals = []
+        replay.bind(sim, lambda r: arrivals.append((sim.now, r.lba)), None)
+        sim.run()
+        assert arrivals == [(10.0, 1), (20.0, 2)]
+        assert replay.submitted == 2
+
+    def test_capture_and_replay_round_trip(self):
+        """A captured run replays through a fresh system with the same
+        application request count."""
+        cfg = quick_config()
+        workload = mixed_read_write_workload(
+            cfg.interval_us, n_intervals=5, cache_blocks=cfg.cache_blocks
+        )
+        system = ExperimentSystem(workload, "wb", cfg)
+        original = system.run()
+
+        text = dumps_trace(system.tracer.records)
+        replay = ReplayWorkload(loads_trace(text))
+        replay_system = ExperimentSystem(replay, "lbica", cfg)
+        replayed = replay_system.run()
+
+        assert replayed.completed > 0
+        # merged multi-block requests make exact equality too strict;
+        # the replay must reproduce the application arrival count within
+        # the capture buffer's limits
+        assert replayed.completed <= len(replay.records)
+        assert replayed.completed >= original.completed * 0.5

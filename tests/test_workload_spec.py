@@ -1,0 +1,176 @@
+"""Unit tests for declarative workload specs (dict / JSON)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.workloads.access_patterns import (
+    HotColdPattern,
+    MixPattern,
+    SequentialPattern,
+    UniformPattern,
+    ZipfPattern,
+)
+from repro.workloads.spec import (
+    SpecError,
+    load_workload_spec,
+    pattern_from_spec,
+    workload_from_spec,
+)
+
+
+def valid_spec():
+    return {
+        "name": "spec_demo",
+        "max_outstanding": 64,
+        "warm": [
+            {"kind": "range", "start": 0, "span": 16, "dirty": False},
+            {"kind": "range", "start": 100, "span": 8, "dirty": True},
+        ],
+        "phases": [
+            {
+                "label": "burst",
+                "n_intervals": 5,
+                "rate_iops": 1000,
+                "write_frac": 0.3,
+                "burst": True,
+                "read_pattern": {"kind": "uniform", "start": 0, "span": 128},
+                "write_pattern": {"kind": "uniform", "start": 512, "span": 64},
+            }
+        ],
+    }
+
+
+class TestPatternSpecs:
+    def test_uniform(self):
+        pat = pattern_from_spec({"kind": "uniform", "start": 5, "span": 10})
+        assert isinstance(pat, UniformPattern)
+        assert pat.start == 5 and pat.span == 10
+
+    def test_zipf_with_defaults(self):
+        pat = pattern_from_spec({"kind": "zipf", "start": 0, "span": 50})
+        assert isinstance(pat, ZipfPattern)
+        assert pat.s == 1.1
+
+    def test_hotcold(self):
+        pat = pattern_from_spec(
+            {
+                "kind": "hotcold",
+                "hot_start": 0,
+                "hot_span": 10,
+                "cold_start": 100,
+                "cold_span": 50,
+                "hot_prob": 0.8,
+            }
+        )
+        assert isinstance(pat, HotColdPattern)
+        assert pat.hot_prob == 0.8
+
+    def test_sequential(self):
+        pat = pattern_from_spec(
+            {"kind": "sequential", "start": 10, "span": 100, "stride": 4}
+        )
+        assert isinstance(pat, SequentialPattern)
+        assert pat.stride == 4
+
+    def test_mix(self):
+        pat = pattern_from_spec(
+            {
+                "kind": "mix",
+                "components": [
+                    {"weight": 0.7, "pattern": {"kind": "uniform", "start": 0, "span": 5}},
+                    {"weight": 0.3, "pattern": {"kind": "uniform", "start": 50, "span": 5}},
+                ],
+            }
+        )
+        assert isinstance(pat, MixPattern)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SpecError):
+            pattern_from_spec({"kind": "fractal", "start": 0, "span": 1})
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(SpecError):
+            pattern_from_spec({"kind": "uniform", "start": 0, "span": 1, "oops": 1})
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(SpecError):
+            pattern_from_spec({"kind": "uniform", "start": 0})
+
+
+class TestWorkloadSpecs:
+    def test_valid_spec_builds(self):
+        wl = workload_from_spec(valid_spec(), interval_us=1000.0)
+        assert wl.name == "spec_demo"
+        assert wl.max_outstanding == 64
+        assert wl.total_intervals == 5
+        assert len(wl.warm_blocks) == 16
+        assert len(wl.warm_dirty_blocks) == 8
+        assert wl.phases[0].burst
+
+    def test_spec_workload_generates(self):
+        from repro.sim.engine import Simulator
+
+        wl = workload_from_spec(valid_spec(), interval_us=1000.0)
+        sim = Simulator()
+        got = []
+
+        def submit(req):
+            got.append(req)
+            wl.on_request_complete(req)
+
+        wl.bind(sim, submit, np.random.default_rng(1))
+        sim.run(until=wl.duration_us)
+        assert got
+
+    def test_size_blocks_distribution(self):
+        spec = valid_spec()
+        spec["phases"][0]["size_blocks"] = [[1, 0.75], [8, 0.25]]
+        wl = workload_from_spec(spec, interval_us=1000.0)
+        choices, probs = wl.phases[0].size_blocks
+        assert choices == [1, 8]
+        assert probs == [0.75, 0.25]
+
+    def test_empty_phases_rejected(self):
+        spec = valid_spec()
+        spec["phases"] = []
+        with pytest.raises(SpecError):
+            workload_from_spec(spec, 1000.0)
+
+    def test_unknown_top_level_key_rejected(self):
+        spec = valid_spec()
+        spec["surprise"] = True
+        with pytest.raises(SpecError):
+            workload_from_spec(spec, 1000.0)
+
+    def test_invalid_phase_values_propagate(self):
+        spec = valid_spec()
+        spec["phases"][0]["write_frac"] = 2.0
+        with pytest.raises(ValueError):
+            workload_from_spec(spec, 1000.0)
+
+    def test_json_round_trip(self, tmp_path):
+        path = tmp_path / "wl.json"
+        path.write_text(json.dumps(valid_spec()), encoding="utf-8")
+        wl = load_workload_spec(path, interval_us=1000.0)
+        assert wl.name == "spec_demo"
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(SpecError):
+            load_workload_spec(path, 1000.0)
+
+    def test_spec_runs_through_full_system(self):
+        """A spec-built workload drives the whole experiment stack."""
+        from repro.config import quick_config
+        from repro.experiments.system import ExperimentSystem
+
+        spec = valid_spec()
+        spec["phases"][0]["n_intervals"] = 10
+        cfg = quick_config()
+        wl = workload_from_spec(spec, interval_us=cfg.interval_us)
+        result = ExperimentSystem(wl, "wb", cfg).run()
+        assert result.completed > 0
+        assert len(result.samples) == 10
