@@ -1,0 +1,58 @@
+"""Multi-VM grid bench: consolidated scenarios, serial vs parallel.
+
+Measures the paper-scale consolidated grid — (consolidated3,
+bootstorm_neighbors) × (wb, sib, lbica) — both serially and fanned out
+across processes, and checks the multi-tenant invariants: per-VM
+accounting sums to the aggregate, and LBICA still wins once the cache is
+shared.
+
+The parallel variant only beats the serial one on multi-core hosts; on a
+single-core CI box it measures pure fan-out overhead (worker startup +
+result pickling), which is useful to track too.
+"""
+
+from repro.config import paper_config
+from repro.experiments.runner import run_grid
+from repro.experiments.system import SCHEMES
+
+MT_WORKLOADS = ("consolidated3", "bootstorm_neighbors")
+
+
+def _check_grid(grid):
+    assert len(grid) == len(MT_WORKLOADS) * len(SCHEMES)
+    for (workload, _scheme), result in grid.items():
+        assert result.completed > 0
+        assert len(result.tenant_ids) >= 2, workload
+        total = sum(ts["completed"] for ts in result.tenant_stats.values())
+        assert total == result.completed
+    for workload in MT_WORKLOADS:
+        wb = grid[(workload, "wb")]
+        lbica = grid[(workload, "lbica")]
+        assert lbica.mean_latency < wb.mean_latency, workload
+
+
+def test_multi_tenant_grid_serial(benchmark):
+    """Wall-clock of the consolidated grid, one process."""
+    grid = benchmark.pedantic(
+        run_grid,
+        kwargs=dict(workloads=MT_WORKLOADS, schemes=SCHEMES, config=paper_config()),
+        rounds=1,
+        iterations=1,
+    )
+    _check_grid(grid)
+
+
+def test_multi_tenant_grid_parallel(benchmark):
+    """Same grid fanned out across four worker processes."""
+    grid = benchmark.pedantic(
+        run_grid,
+        kwargs=dict(
+            workloads=MT_WORKLOADS,
+            schemes=SCHEMES,
+            config=paper_config(),
+            max_workers=4,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    _check_grid(grid)

@@ -78,11 +78,25 @@ def latency_summary(latencies: Iterable[float]) -> LatencySummary:
 def mean_over_intervals(
     values: Sequence[float], intervals: Sequence[int] | None = None
 ) -> float:
-    """Mean of ``values`` restricted to ``intervals`` (all when ``None``)."""
+    """Mean of ``values`` restricted to ``intervals`` (all when ``None``).
+
+    Raises:
+        IndexError: If any interval index is out of range (including
+            negative indices — no wrap-around).  Out-of-range indices
+            used to be dropped silently, which let figure code average
+            the wrong window without noticing; a mismatch between a
+            burst-interval list and a series length is a bug upstream.
+    """
     if intervals is None:
         subset = list(values)
     else:
-        subset = [values[i] for i in intervals if 0 <= i < len(values)]
+        bad = [i for i in intervals if not 0 <= i < len(values)]
+        if bad:
+            raise IndexError(
+                f"interval indices {bad} out of range for a series of "
+                f"length {len(values)}"
+            )
+        subset = [values[i] for i in intervals]
     if not subset:
         return 0.0
     return float(np.mean(subset))

@@ -28,7 +28,7 @@ from repro.cache.write_policy import PolicyBehavior, WritePolicy, behavior_for
 from repro.devices.base import StorageDevice
 from repro.io.request import DeviceOp, OpTag, Request
 
-__all__ = ["CacheController", "CacheStats", "PolicyChange"]
+__all__ = ["CacheController", "CacheStats", "TenantStats", "PolicyChange"]
 
 
 @dataclass(frozen=True)
@@ -38,6 +38,31 @@ class PolicyChange:
     time: float
     policy: WritePolicy
     promote_on_miss: bool
+
+
+@dataclass
+class TenantStats:
+    """Per-tenant (per-VM) slice of the cache datapath counters."""
+
+    requests: int = 0
+    reads: int = 0
+    writes: int = 0
+    read_hit_blocks: int = 0
+    read_miss_blocks: int = 0
+    completed: int = 0
+    bypassed: int = 0
+    total_latency: float = 0.0
+
+    @property
+    def read_hit_ratio(self) -> float:
+        """Block-level read hit ratio for this tenant."""
+        total = self.read_hit_blocks + self.read_miss_blocks
+        return self.read_hit_blocks / total if total else 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean application-request latency for this tenant (µs)."""
+        return self.total_latency / self.completed if self.completed else 0.0
 
 
 @dataclass
@@ -59,6 +84,14 @@ class CacheStats:
     completed: int = 0
     total_latency: float = 0.0
     policy_log: list[PolicyChange] = field(default_factory=list)
+    tenants: dict[int, TenantStats] = field(default_factory=dict)
+
+    def tenant(self, tenant_id: int) -> TenantStats:
+        """The (auto-created) per-tenant counter slice."""
+        stats = self.tenants.get(tenant_id)
+        if stats is None:
+            stats = self.tenants[tenant_id] = TenantStats()
+        return stats
 
     @property
     def read_hit_ratio(self) -> float:
@@ -151,11 +184,15 @@ class CacheController:
     def submit(self, request: Request) -> None:
         """Route one application request through the cache."""
         self.stats.requests += 1
+        tenant = self.stats.tenant(request.tenant_id)
+        tenant.requests += 1
         if request.is_write:
             self.stats.writes += 1
+            tenant.writes += 1
             self._do_write(request)
         else:
             self.stats.reads += 1
+            tenant.reads += 1
             self._do_read(request)
 
     # ------------------------------------------------------------------
@@ -163,10 +200,12 @@ class CacheController:
     # ------------------------------------------------------------------
     def _do_read(self, request: Request) -> None:
         now = self.sim.now
+        tenant = self.stats.tenant(request.tenant_id)
         for lba in range(request.lba, request.end_lba):
             block = self.store.lookup(lba, now)
             if block is not None:
                 self.stats.read_hit_blocks += 1
+                tenant.read_hit_blocks += 1
                 op = DeviceOp(
                     lba,
                     1,
@@ -182,6 +221,7 @@ class CacheController:
                 self.ssd.submit(op)
             else:
                 self.stats.read_miss_blocks += 1
+                tenant.read_miss_blocks += 1
                 op = DeviceOp(
                     lba,
                     1,
@@ -433,6 +473,11 @@ class CacheController:
         if request.op_done(self.sim.now):
             self.stats.completed += 1
             self.stats.total_latency += request.latency
+            tenant = self.stats.tenant(request.tenant_id)
+            tenant.completed += 1
+            tenant.total_latency += request.latency
+            if request.bypassed:
+                tenant.bypassed += 1
             for hook in self._completion_hooks:
                 hook(request)
 

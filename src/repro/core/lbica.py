@@ -165,16 +165,20 @@ class LbicaController:
         bypassed = 0
         mix_dict: dict = {}
 
-        # Drain the per-interval arrival windows every tick so a burst is
-        # always characterized from the *last interval's* traffic, never
-        # from a stale multi-interval accumulation.  Application reads and
-        # writes are counted wherever they were served (a write bypassed
-        # to the disk under RO is still workload write traffic); the
-        # cache-internal promote/evict tags exist only on the SSD side.
+        # Drain the per-interval arrival windows every tick — even when
+        # the window mix is not consulted — so the tracer's counters
+        # never accumulate across intervals: with ``use_window_mix=False``
+        # an undrained window would grow without bound and a later
+        # ``take_window_counts`` call would return a stale multi-interval
+        # mix.  When consulted, application reads and writes are counted
+        # wherever they were served (a write bypassed to the disk under
+        # RO is still workload write traffic); the cache-internal
+        # promote/evict tags exist only on the SSD side.
+        ssd_window = self.tracer.take_window_counts(self.ssd.name)
+        hdd_window = self.tracer.take_window_counts(self.hdd.name)
         window = None
         if self.config.use_window_mix:
-            window = self.tracer.take_window_counts(self.ssd.name)
-            hdd_window = self.tracer.take_window_counts(self.hdd.name)
+            window = ssd_window
             window[OpTag.READ] += hdd_window.get(OpTag.READ, 0)
             window[OpTag.WRITE] += hdd_window.get(OpTag.WRITE, 0)
 

@@ -6,6 +6,9 @@ Examples::
     lbica-experiments fig6 --workloads mail
     lbica-experiments all --out results/   # every figure + headline + CSVs
     lbica-experiments ablation --workloads mail
+    lbica-experiments all --jobs 4         # fan the grid out across processes
+    lbica-experiments fig4 --workloads consolidated3   # multi-VM scenario
+    lbica-experiments fig7 --vms tpcc web  # ad-hoc consolidation of 2 VMs
     python -m repro.experiments fig7       # module form
 
 Each figure prints its ASCII chart and shape-check table; ``--out``
@@ -27,6 +30,7 @@ from repro.experiments.fig7 import generate_fig7
 from repro.experiments.figures import save_figure_artifacts
 from repro.experiments.headline import generate_headline
 from repro.experiments.runner import PAPER_WORKLOADS, ExperimentRunner
+from repro.experiments.system import SCHEMES, register_consolidation
 
 __all__ = ["main", "build_parser"]
 
@@ -69,15 +73,45 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress progress messages"
     )
+    parser.add_argument(
+        "--vms",
+        nargs="+",
+        default=None,
+        metavar="WORKLOAD",
+        help=(
+            "consolidate these workloads as VMs on one shared cache and "
+            "run the figures on that scenario (repeats allowed)"
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="processes for the simulation grid (default 1 = serial)",
+    )
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
     config = quick_config(args.seed) if args.quick else paper_config(args.seed)
     runner = ExperimentRunner(config, verbose=not args.quiet)
     workloads = tuple(args.workloads)
+    if args.vms:
+        try:
+            workloads = (register_consolidation(args.vms),)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    if args.jobs > 1 and args.target != "ablation":
+        # pre-simulate the grid in parallel; figures and the headline
+        # report then read the memo cache (ablation builds its own
+        # systems and never consults the runner)
+        runner.run_many(workloads, SCHEMES, max_workers=args.jobs)
 
     targets = sorted(_FIGURES) if args.target == "all" else [args.target]
     if args.target == "all":

@@ -4,10 +4,19 @@ The figure generators all consume the same nine runs (three workloads ×
 three schemes); :class:`ExperimentRunner` memoizes them so a full
 ``fig4 + fig5 + fig6 + fig7 + headline`` regeneration simulates each
 combination exactly once.
+
+Grids can be fanned out across processes: each (workload, scheme)
+combination is an independent simulation built from the same seeded
+config, so :meth:`ExperimentRunner.run_many` with ``max_workers > 1``
+produces bit-identical results to the serial run — workers share
+nothing, and every combination derives its randomness from the config's
+root seed alone.  Completed results land in the same memo cache the
+serial path uses.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from typing import Iterable, Sequence
 
 from repro.config import SystemConfig, paper_config
@@ -17,6 +26,13 @@ __all__ = ["ExperimentRunner", "run_grid", "PAPER_WORKLOADS"]
 
 #: The three evaluation workloads of Section IV.
 PAPER_WORKLOADS = ("tpcc", "mail", "web")
+
+
+def _simulate_combination(
+    workload: str, scheme: str, config: SystemConfig
+) -> RunResult:
+    """Worker entry point: build and run one combination (picklable)."""
+    return ExperimentSystem.build(workload, scheme, config).run()
 
 
 class ExperimentRunner:
@@ -33,8 +49,7 @@ class ExperimentRunner:
         if key not in self._cache:
             if self.verbose:
                 print(f"[runner] simulating {workload}/{scheme} ...", flush=True)
-            system = ExperimentSystem.build(workload, scheme, self.config)
-            self._cache[key] = system.run()
+            self._cache[key] = _simulate_combination(workload, scheme, self.config)
             if self.verbose:
                 print(f"[runner]   {self._cache[key].summary()}", flush=True)
         return self._cache[key]
@@ -43,13 +58,43 @@ class ExperimentRunner:
         self,
         workloads: Iterable[str] = PAPER_WORKLOADS,
         schemes: Iterable[str] = SCHEMES,
+        max_workers: int = 1,
     ) -> dict[tuple[str, str], RunResult]:
-        """Run a grid; returns ``{(workload, scheme): result}``."""
-        out: dict[tuple[str, str], RunResult] = {}
-        for workload in workloads:
-            for scheme in schemes:
-                out[(workload, scheme)] = self.run(workload, scheme)
-        return out
+        """Run a grid; returns ``{(workload, scheme): result}``.
+
+        Args:
+            workloads: Workload names (rows of the grid).
+            schemes: Scheme names (columns of the grid).
+            max_workers: Process count for the fan-out.  ``1`` (the
+                default) runs serially in this process; larger values
+                simulate missing combinations concurrently.  Results are
+                identical either way — combinations are independent and
+                fully determined by the config's seed — and memoization
+                is shared: already-cached combinations are never re-run.
+        """
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        keys = [(w, s) for w in workloads for s in schemes]
+        missing = [k for k in dict.fromkeys(keys) if k not in self._cache]
+        if max_workers > 1 and len(missing) > 1:
+            if self.verbose:
+                print(
+                    f"[runner] simulating {len(missing)} combinations "
+                    f"across {max_workers} workers ...",
+                    flush=True,
+                )
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                results = pool.map(
+                    _simulate_combination,
+                    [k[0] for k in missing],
+                    [k[1] for k in missing],
+                    [self.config] * len(missing),
+                )
+                for key, result in zip(missing, results):
+                    self._cache[key] = result
+                    if self.verbose:
+                        print(f"[runner]   {result.summary()}", flush=True)
+        return {key: self.run(*key) for key in keys}
 
     def invalidate(self) -> None:
         """Drop all memoized results."""
@@ -61,6 +106,14 @@ def run_grid(
     schemes: Sequence[str] = SCHEMES,
     config: SystemConfig | None = None,
     verbose: bool = False,
+    max_workers: int = 1,
 ) -> dict[tuple[str, str], RunResult]:
-    """Convenience wrapper: run a fresh grid and return the results."""
-    return ExperimentRunner(config, verbose=verbose).run_many(workloads, schemes)
+    """Convenience wrapper: run a fresh grid and return the results.
+
+    ``max_workers > 1`` fans the combinations out across processes (see
+    :meth:`ExperimentRunner.run_many`); serial and parallel runs of the
+    same config/seed produce identical results.
+    """
+    return ExperimentRunner(config, verbose=verbose).run_many(
+        workloads, schemes, max_workers=max_workers
+    )

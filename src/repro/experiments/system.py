@@ -11,7 +11,7 @@ everything the figure generators need.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Sequence
 
 from repro.baselines.sib import SibController
 from repro.baselines.wb import WbBaseline
@@ -40,10 +40,22 @@ from repro.workloads.synthetic import (
     sequential_write_workload,
 )
 from repro.workloads.bootstorm import boot_storm_workload
+from repro.workloads.multi_tenant import (
+    MultiTenantWorkload,
+    TenantSpec,
+    bootstorm_neighbors_workload,
+    consolidated3_workload,
+)
 from repro.workloads.tpcc import tpcc_workload
 from repro.workloads.web import web_server_workload
 
-__all__ = ["ExperimentSystem", "RunResult", "SCHEMES", "WORKLOADS"]
+__all__ = [
+    "ExperimentSystem",
+    "RunResult",
+    "SCHEMES",
+    "WORKLOADS",
+    "register_consolidation",
+]
 
 #: The comparison schemes of the paper's evaluation.
 SCHEMES = ("wb", "sib", "lbica")
@@ -70,7 +82,65 @@ WORKLOADS: dict[str, Callable] = {
     "mixed_rw": lambda interval_us, cache_blocks, rate_scale, max_outstanding: mixed_read_write_workload(
         interval_us, cache_blocks=cache_blocks, max_outstanding=max_outstanding
     ),
+    # consolidated multi-VM scenarios (one shared cache, per-VM accounting)
+    "consolidated3": consolidated3_workload,
+    "bootstorm_neighbors": bootstorm_neighbors_workload,
 }
+
+#: Workload names that already build multi-tenant compositions —
+#: consolidating one of these again would nest tenants, which the
+#: completion routing cannot support.
+_MULTI_TENANT_NAMES = {"consolidated3", "bootstorm_neighbors"}
+
+
+def register_consolidation(names: Sequence[str]) -> str:
+    """Register an ad-hoc multi-VM scenario composing registered workloads.
+
+    The registered name encodes its own composition
+    (``"vms:web+web"``-style), so a worker process that never saw this
+    call can rebuild the factory from the name alone — which is what
+    keeps ``--vms`` + ``--jobs`` working under the ``spawn`` start
+    method, where the parent's registry mutation is invisible.
+
+    Args:
+        names: Registered single-tenant workload names, one per VM
+            (repeats allowed — ``("web", "web")`` consolidates two
+            identical web servers).
+
+    Returns:
+        The registered name (reused if already present).
+    """
+    if not names:
+        raise ValueError("at least one workload name required")
+    missing = [n for n in names if n not in WORKLOADS]
+    if missing:
+        raise ValueError(
+            f"unknown workloads {missing}; choose from {sorted(WORKLOADS)}"
+        )
+    nested = [n for n in names if n in _MULTI_TENANT_NAMES]
+    if nested:
+        raise ValueError(
+            f"workloads {nested} are already multi-tenant; "
+            "nested consolidation is not supported"
+        )
+    scenario = "vms:" + "+".join(names)
+    if scenario in WORKLOADS:
+        return scenario
+    specs = [TenantSpec(WORKLOADS[n]) for n in names]
+
+    def factory(interval_us, cache_blocks, rate_scale, max_outstanding):
+        return MultiTenantWorkload.compose(
+            scenario,
+            specs,
+            interval_us,
+            cache_blocks=cache_blocks,
+            rate_scale=rate_scale,
+            max_outstanding=max_outstanding,
+        )
+
+    WORKLOADS[scenario] = factory
+    _MULTI_TENANT_NAMES.add(scenario)
+    return scenario
 
 
 @dataclass
@@ -94,6 +164,17 @@ class RunResult:
     sib_rounds: int = 0
     sib_overhead_us: float = 0.0
     events_processed: int = 0
+    #: Per-VM latency populations, keyed by ``tenant_id`` (single-tenant
+    #: runs have everything under tenant 0).
+    tenant_latencies: dict[int, list[float]] = field(default_factory=dict)
+    #: Per-VM breakdown: completed / mean_latency / read_hit_ratio /
+    #: bypassed / reads / writes per tenant.
+    tenant_stats: dict[int, dict] = field(default_factory=dict)
+
+    @property
+    def tenant_ids(self) -> list[int]:
+        """Tenants observed in this run, sorted."""
+        return sorted(self.tenant_stats)
 
     @property
     def mean_latency(self) -> float:
@@ -115,13 +196,35 @@ class RunResult:
 
     def summary(self) -> str:
         """One-paragraph human-readable run summary."""
-        return (
+        text = (
             f"{self.workload}/{self.scheme}: {self.completed} requests, "
             f"mean latency {self.mean_latency:.1f}µs, "
             f"bypassed {self.bypassed_requests}, "
             f"hit ratio {self.cache_stats.get('read_hit_ratio', 0.0):.2%}, "
             f"peak cache Qtime {max(self.cache_load_series(), default=0.0):.0f}µs"
         )
+        if len(self.tenant_stats) > 1:
+            per_vm = ", ".join(
+                f"vm{tid}: {ts['completed']} @ {ts['mean_latency']:.1f}µs"
+                for tid, ts in sorted(self.tenant_stats.items())
+            )
+            text += f" [{per_vm}]"
+        return text
+
+    def tenant_table(self) -> str:
+        """Fixed-width per-VM breakdown for reports."""
+        lines = [
+            f"{'vm':>4} {'completed':>10} {'mean µs':>10} {'hit ratio':>10} "
+            f"{'bypassed':>9} {'reads':>8} {'writes':>8}"
+        ]
+        for tid in self.tenant_ids:
+            ts = self.tenant_stats[tid]
+            lines.append(
+                f"{tid:>4} {ts['completed']:>10} {ts['mean_latency']:>10.1f} "
+                f"{ts['read_hit_ratio']:>10.2%} {ts['bypassed']:>9} "
+                f"{ts['reads']:>8} {ts['writes']:>8}"
+            )
+        return "\n".join(lines)
 
 
 class ExperimentSystem:
@@ -199,6 +302,7 @@ class ExperimentSystem:
         self._latencies: list[float] = []
         self._read_latencies: list[float] = []
         self._write_latencies: list[float] = []
+        self._tenant_latencies: dict[int, list[float]] = {}
         self._bypassed = 0
         self.controller.add_completion_hook(self._on_complete)
         self.controller.add_completion_hook(self.monitor.record_completion)
@@ -209,8 +313,17 @@ class ExperimentSystem:
     def build(
         cls, workload_name: str, scheme: str, config: SystemConfig
     ) -> "ExperimentSystem":
-        """Construct a system from a registered workload name."""
+        """Construct a system from a registered workload name.
+
+        ``"vms:a+b"``-style names are self-describing: if unknown, the
+        consolidation is (re-)registered from the encoded workload
+        names — a spawned worker process can therefore build ad-hoc
+        scenarios its parent registered.
+        """
         factory = WORKLOADS.get(workload_name)
+        if factory is None and workload_name.startswith("vms:"):
+            register_consolidation(workload_name[len("vms:"):].split("+"))
+            factory = WORKLOADS.get(workload_name)
         if factory is None:
             raise ValueError(
                 f"unknown workload {workload_name!r}; choose from {sorted(WORKLOADS)}"
@@ -231,6 +344,7 @@ class ExperimentSystem:
             self._write_latencies.append(lat)
         else:
             self._read_latencies.append(lat)
+        self._tenant_latencies.setdefault(request.tenant_id, []).append(lat)
         if request.bypassed:
             self._bypassed += 1
 
@@ -275,6 +389,19 @@ class ExperimentSystem:
             sib_overhead = self.balancer.total_overhead_us
 
         stats = self.controller.stats
+        wl_stats = getattr(self.workload, "stats", None)
+        tenant_stats: dict[int, dict] = {}
+        for tid, ts in sorted(stats.tenants.items()):
+            lats = self._tenant_latencies.get(tid, [])
+            tenant_stats[tid] = {
+                "completed": ts.completed,
+                "mean_latency": ts.mean_latency,
+                "max_latency": max(lats, default=0.0),
+                "read_hit_ratio": ts.read_hit_ratio,
+                "bypassed": ts.bypassed,
+                "reads": ts.reads,
+                "writes": ts.writes,
+            }
         return RunResult(
             workload=self.workload.name,
             scheme=self.scheme,
@@ -304,18 +431,19 @@ class ExperimentSystem:
             ssd_queue_stats=self.ssd.queue.stats.snapshot(),
             hdd_queue_stats=self.hdd.queue.stats.snapshot(),
             workload_stats={
-                "generated": getattr(self.workload.stats, "generated", 0)
-                if hasattr(self.workload, "stats")
-                else 0,
-                "throttled": getattr(self.workload.stats, "throttled", 0)
-                if hasattr(self.workload, "stats")
-                else 0,
+                "generated": getattr(wl_stats, "generated", 0),
+                "throttled": getattr(wl_stats, "throttled", 0),
             },
             policy_log=list(stats.policy_log),
             lbica_decisions=lbica_decisions,
             sib_rounds=sib_rounds,
             sib_overhead_us=sib_overhead,
             events_processed=self.sim.events_processed,
+            tenant_latencies={
+                tid: list(lats)
+                for tid, lats in sorted(self._tenant_latencies.items())
+            },
+            tenant_stats=tenant_stats,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

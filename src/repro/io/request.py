@@ -57,6 +57,9 @@ class Request:
         bypassed: Whether a load balancer redirected (part of) this request
             to the disk subsystem.
         served_by: Device names that served synchronous parts of it.
+        tenant_id: Originating VM / tenant (``0`` for single-tenant runs).
+            Multi-tenant workloads stamp this so the cache controller and
+            monitors can break accounting down per VM.
     """
 
     __slots__ = (
@@ -68,6 +71,7 @@ class Request:
         "complete_time",
         "bypassed",
         "served_by",
+        "tenant_id",
         "_outstanding",
         "_on_complete",
     )
@@ -79,12 +83,16 @@ class Request:
         nblocks: int,
         is_write: bool,
         on_complete: Optional[Callable[["Request"], None]] = None,
+        tenant_id: int = 0,
     ) -> None:
         if nblocks <= 0:
             raise ValueError("nblocks must be positive")
         if lba < 0:
             raise ValueError("lba must be non-negative")
+        if tenant_id < 0:
+            raise ValueError("tenant_id must be non-negative")
         self.req_id = next(_req_ids)
+        self.tenant_id = tenant_id
         self.arrival = arrival
         self.lba = lba
         self.nblocks = nblocks

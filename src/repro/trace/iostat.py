@@ -63,6 +63,10 @@ class IntervalSample:
     #: exceed 1.0 on devices with internal parallelism).
     ssd_util: float = 0.0
     hdd_util: float = 0.0
+    #: Per-tenant completions and mean latency within this interval
+    #: (keyed by ``Request.tenant_id``; single-tenant runs use key 0).
+    tenant_completed: dict[int, int] = field(default_factory=dict)
+    tenant_avg_latency: dict[int, float] = field(default_factory=dict)
 
     @property
     def bottleneck_is_cache(self) -> bool:
@@ -80,6 +84,8 @@ class _WindowAccum:
     bypassed: int = 0
     total_latency: float = 0.0
     max_latency: float = 0.0
+    tenant_completed: dict[int, int] = field(default_factory=dict)
+    tenant_latency: dict[int, float] = field(default_factory=dict)
 
     def record(self, request: Request) -> None:
         self.completed += 1
@@ -93,6 +99,9 @@ class _WindowAccum:
         self.total_latency += lat
         if lat > self.max_latency:
             self.max_latency = lat
+        tid = request.tenant_id
+        self.tenant_completed[tid] = self.tenant_completed.get(tid, 0) + 1
+        self.tenant_latency[tid] = self.tenant_latency.get(tid, 0.0) + lat
 
 
 class IostatMonitor:
@@ -179,6 +188,12 @@ class IostatMonitor:
             max_latency=acc.max_latency,
             ssd_util=(ssd_busy - prev_ssd_busy) / self.interval_us,
             hdd_util=(hdd_busy - prev_hdd_busy) / self.interval_us,
+            tenant_completed=dict(acc.tenant_completed),
+            tenant_avg_latency={
+                tid: acc.tenant_latency[tid] / n
+                for tid, n in acc.tenant_completed.items()
+                if n
+            },
         )
         self.samples.append(sample)
         self._accum = _WindowAccum()

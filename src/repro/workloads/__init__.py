@@ -18,6 +18,8 @@ sequential read).  This package provides:
 - :mod:`repro.workloads.synthetic` — single-pattern workloads for each of
   the paper's four characterization groups.
 - :mod:`repro.workloads.replay` — replay of captured text traces.
+- :mod:`repro.workloads.multi_tenant` — multi-VM composition: N
+  workloads sharing one cache under per-VM ``tenant_id`` accounting.
 """
 
 from repro.workloads.access_patterns import (
@@ -30,6 +32,12 @@ from repro.workloads.access_patterns import (
 from repro.workloads.base import PhaseSpec, Workload, WorkloadStats
 from repro.workloads.bootstorm import boot_storm_workload
 from repro.workloads.mail import mail_server_workload
+from repro.workloads.multi_tenant import (
+    MultiTenantWorkload,
+    TenantSpec,
+    bootstorm_neighbors_workload,
+    consolidated3_workload,
+)
 from repro.workloads.replay import ReplayWorkload
 from repro.workloads.spec import load_workload_spec, workload_from_spec
 from repro.workloads.synthetic import (
@@ -61,6 +69,10 @@ __all__ = [
     "sequential_write_workload",
     "mixed_read_write_workload",
     "ReplayWorkload",
+    "MultiTenantWorkload",
+    "TenantSpec",
+    "consolidated3_workload",
+    "bootstorm_neighbors_workload",
     "workload_from_spec",
     "load_workload_spec",
 ]

@@ -150,6 +150,19 @@ class Workload:
         idx = int(np.searchsorted(self._bounds, time_us, side="right"))
         return self.phases[min(idx, len(self.phases) - 1)]
 
+    def shift(self, offset_us: float) -> None:
+        """Delay the whole phase script by ``offset_us``.
+
+        Used by multi-tenant composition to stagger VM start times: the
+        phase boundaries are stored in absolute simulation time, so a
+        tenant bound ``offset_us`` into the run must have its script
+        pushed out by the same amount to keep phases aligned with its
+        own arrival stream.
+        """
+        if offset_us < 0:
+            raise ValueError("offset_us must be non-negative")
+        self._bounds = [b + offset_us for b in self._bounds]
+
     def burst_intervals(self) -> list[int]:
         """Interval indices covered by scripted burst phases."""
         out: list[int] = []

@@ -14,12 +14,18 @@ from typing import Callable, Iterable, Sequence
 
 from repro.io.request import OpTag, Request
 from repro.trace.records import TraceRecord
+from repro.workloads.base import WorkloadStats
 
 __all__ = ["ReplayWorkload"]
 
 
 class ReplayWorkload:
     """Replays application arrivals from a trace.
+
+    Carries a real :class:`~repro.workloads.base.WorkloadStats` (every
+    emitted arrival counts as ``generated``; replay never throttles), so
+    ``RunResult.workload_stats`` reports replay runs like any scripted
+    workload instead of falling back to zeros.
 
     Args:
         records: Parsed trace records (any order; sorted internally).
@@ -39,7 +45,12 @@ class ReplayWorkload:
         self.records: Sequence[TraceRecord] = app
         self.time_scale = time_scale
         self.name = "replay"
-        self.submitted = 0
+        self.stats = WorkloadStats()
+
+    @property
+    def submitted(self) -> int:
+        """Arrivals emitted so far (alias of ``stats.generated``)."""
+        return self.stats.generated
 
     @property
     def duration_us(self) -> float:
@@ -59,7 +70,13 @@ class ReplayWorkload:
 
     def _emit(self, sim, submit: Callable[[Request], None], rec: TraceRecord) -> None:
         request = Request(sim.now, rec.lba, rec.nblocks, rec.is_write)
-        self.submitted += 1
+        self.stats.generated += 1
+        if rec.is_write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+        if self.stats.generated == len(self.records):
+            self.stats.finished = True
         submit(request)
 
     def on_request_complete(self, request: Request) -> None:

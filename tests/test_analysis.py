@@ -67,8 +67,13 @@ class TestMetrics:
         treat = [50.0, 0.0, 50.0, 0.0]
         assert load_reduction(base, treat, intervals=[0, 2]) == pytest.approx(0.5)
 
-    def test_mean_over_intervals_out_of_range_ignored(self):
-        assert mean_over_intervals([1.0, 2.0], intervals=[0, 5]) == 1.0
+    def test_mean_over_intervals_out_of_range_raises(self):
+        with pytest.raises(IndexError):
+            mean_over_intervals([1.0, 2.0], intervals=[0, 5])
+
+    def test_mean_over_intervals_negative_index_raises(self):
+        with pytest.raises(IndexError):
+            mean_over_intervals([1.0, 2.0], intervals=[-1])
 
 
 class TestSeries:

@@ -279,3 +279,17 @@ class TestLbicaController:
             LbicaConfig(confirm_ticks=0).validate()
         with pytest.raises(ValueError):
             LbicaConfig(revert_after_quiet=0).validate()
+
+    def test_windows_drained_without_window_mix(self, sim, controller, ssd, hdd):
+        """Tracer windows must be drained every tick even when the window
+        mix is not consulted — otherwise counts accumulate unboundedly and
+        a later take_window_counts returns a stale multi-interval mix."""
+        lbica = self._build(sim, controller, ssd, hdd, use_window_mix=False)
+        lbica.start()
+        for i in range(8):
+            sim.schedule(i * 1000.0 + 10.0, controller.submit,
+                         Request(0.0, i, 1, True))
+        sim.run(until=8000.0)
+        leftovers = lbica.tracer.take_window_counts(ssd.name)
+        # only ops queued since the last tick (at t=8000) may remain
+        assert sum(leftovers.values()) <= 1

@@ -54,6 +54,33 @@ class TestReplayExecution:
         assert arrivals == [(10.0, 1), (20.0, 2)]
         assert replay.submitted == 2
 
+    def test_replay_has_real_workload_stats(self, sim):
+        records = [
+            rec(10.0, lba=1),
+            rec(20.0, lba=2, tag=OpTag.WRITE, is_write=True),
+        ]
+        replay = ReplayWorkload(records)
+        replay.bind(sim, lambda r: None, None)
+        sim.run()
+        assert replay.stats.generated == 2
+        assert replay.stats.reads == 1
+        assert replay.stats.writes == 1
+        assert replay.stats.throttled == 0
+        assert replay.stats.finished
+
+    def test_replay_run_reports_workload_stats(self):
+        """RunResult.workload_stats must not be zero for replay runs."""
+        cfg = quick_config()
+        workload = mixed_read_write_workload(
+            cfg.interval_us, n_intervals=2, cache_blocks=cfg.cache_blocks
+        )
+        system = ExperimentSystem(workload, "wb", cfg)
+        system.run()
+        replay = ReplayWorkload(loads_trace(dumps_trace(system.tracer.records)))
+        result = ExperimentSystem(replay, "wb", cfg).run()
+        assert result.workload_stats["generated"] == len(replay.records)
+        assert result.workload_stats["throttled"] == 0
+
     def test_capture_and_replay_round_trip(self):
         """A captured run replays through a fresh system with the same
         application request count."""
