@@ -1,0 +1,295 @@
+#!/usr/bin/env python3
+"""Unified benchmark suite: canonical scenarios, one machine-readable file.
+
+Every run emits ``BENCH_suite.json`` — wall-clock, simulated-IOs/sec,
+events processed, and peak RSS per scenario — so the performance
+trajectory of the simulator is comparable across commits.  The stats
+fingerprint embedded per scenario is deterministic (fixed seeds, no
+timing), which is what the golden files under ``benchmarks/golden/``
+pin: an optimization must reproduce the fingerprints bit-for-bit or the
+``--golden`` check (and the tier-1 golden test) fails.
+
+Scenarios:
+
+- ``fig4_single_vm`` — the canonical single-VM run (TPC-C under LBICA,
+  the Fig. 4 configuration).  This is the scenario speedups are quoted
+  against.
+- ``consolidated3`` — three VMs (TPC-C + mail + web) contending for one
+  shared cache under LBICA.
+- ``bootstorm_neighbors`` — a VM boot storm landing beside a steady web
+  server, under LBICA.
+- ``grid_fanout`` — the full 3×3 (workload × scheme) grid through
+  ``run_grid(max_workers=N)``, exercising the parallel process fan-out.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/suite.py --quick
+    PYTHONPATH=src python benchmarks/suite.py --quick \
+        --golden benchmarks/golden/suite_quick.json       # CI gate
+    PYTHONPATH=src python benchmarks/suite.py --quick \
+        --update-golden benchmarks/golden/suite_quick.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import resource
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Optional, Sequence
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+try:  # allow `python benchmarks/suite.py` without PYTHONPATH=src
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - path bootstrap
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.config import SystemConfig, paper_config, quick_config
+from repro.experiments.runner import PAPER_WORKLOADS, run_grid
+from repro.experiments.system import SCHEMES, ExperimentSystem, RunResult
+
+__all__ = ["SCENARIOS", "run_scenario", "run_suite", "stats_fingerprint", "main"]
+
+#: The scenario quoted in speedup claims (single VM, Fig. 4 shape).
+CANONICAL = "fig4_single_vm"
+
+
+def stats_fingerprint(result: RunResult) -> dict:
+    """A deterministic, JSON-stable digest of a run's statistics.
+
+    Contains no timing or memory numbers — two runs of the same code,
+    seed, and config produce the exact same fingerprint, and an optimized
+    engine is required to keep it bit-identical (floats round-trip
+    exactly through JSON via ``repr``).
+    """
+    return {
+        "workload": result.workload,
+        "scheme": result.scheme,
+        "completed": result.completed,
+        "events_processed": result.events_processed,
+        "mean_latency": result.mean_latency,
+        "latency_sum": sum(result.latencies),
+        "latency_max": max(result.latencies, default=0.0),
+        "read_latency_sum": sum(result.read_latencies),
+        "write_latency_sum": sum(result.write_latencies),
+        "bypassed_requests": result.bypassed_requests,
+        "cache_stats": result.cache_stats,
+        "store_stats": result.store_stats,
+        "ssd_queue_stats": result.ssd_queue_stats,
+        "hdd_queue_stats": result.hdd_queue_stats,
+        "workload_stats": result.workload_stats,
+        "n_samples": len(result.samples),
+        "cache_load_sum": sum(result.cache_load_series()),
+        "disk_load_sum": sum(result.disk_load_series()),
+        "n_policy_log": len(result.policy_log),
+        "n_lbica_decisions": len(result.lbica_decisions),
+        "tenant_stats": {str(t): s for t, s in result.tenant_stats.items()},
+    }
+
+
+def _peak_rss_kb() -> int:
+    """Process-wide peak RSS in KiB (monotone over the process lifetime)."""
+    self_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    child_kb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    return max(self_kb, child_kb)
+
+
+def _run_single(workload: str, scheme: str, config: SystemConfig) -> tuple[dict, dict]:
+    t0 = time.perf_counter()
+    result = ExperimentSystem.build(workload, scheme, config).run()
+    wall = time.perf_counter() - t0
+    perf = {
+        "wall_clock_s": round(wall, 4),
+        "events_processed": result.events_processed,
+        "events_per_sec": round(result.events_processed / wall) if wall else 0,
+        "completed_requests": result.completed,
+        "simulated_ios_per_sec": round(result.completed / wall) if wall else 0,
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+    return perf, stats_fingerprint(result)
+
+
+def _run_grid_fanout(config: SystemConfig, jobs: int) -> tuple[dict, dict]:
+    t0 = time.perf_counter()
+    grid = run_grid(PAPER_WORKLOADS, SCHEMES, config=config, max_workers=jobs)
+    wall = time.perf_counter() - t0
+    events = sum(r.events_processed for r in grid.values())
+    completed = sum(r.completed for r in grid.values())
+    perf = {
+        "wall_clock_s": round(wall, 4),
+        "events_processed": events,
+        "events_per_sec": round(events / wall) if wall else 0,
+        "completed_requests": completed,
+        "simulated_ios_per_sec": round(completed / wall) if wall else 0,
+        "peak_rss_kb": _peak_rss_kb(),
+        "max_workers": jobs,
+        "combinations": len(grid),
+    }
+    stats = {
+        f"{wl}/{sc}": stats_fingerprint(r) for (wl, sc), r in sorted(grid.items())
+    }
+    return perf, stats
+
+
+#: name -> factory(config, jobs) -> (perf dict, stats fingerprint)
+SCENARIOS: dict[str, Callable[[SystemConfig, int], tuple[dict, dict]]] = {
+    CANONICAL: lambda cfg, jobs: _run_single("tpcc", "lbica", cfg),
+    "consolidated3": lambda cfg, jobs: _run_single("consolidated3", "lbica", cfg),
+    "bootstorm_neighbors": lambda cfg, jobs: _run_single(
+        "bootstorm_neighbors", "lbica", cfg
+    ),
+    "grid_fanout": _run_grid_fanout,
+}
+
+
+def run_scenario(
+    name: str, config: SystemConfig, jobs: int = 2
+) -> tuple[dict, dict]:
+    """Run one named scenario; returns ``(perf, stats_fingerprint)``."""
+    if name not in SCENARIOS:
+        raise ValueError(f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}")
+    return SCENARIOS[name](config, jobs)
+
+
+def run_suite(
+    quick: bool = False,
+    seed: int = 7,
+    jobs: int = 2,
+    scenarios: Optional[Sequence[str]] = None,
+    verbose: bool = True,
+) -> dict:
+    """Run the suite and return the ``BENCH_suite.json`` document."""
+    config = quick_config(seed) if quick else paper_config(seed)
+    names = list(scenarios) if scenarios else list(SCENARIOS)
+    doc: dict = {
+        "suite": "lbica-bench-suite",
+        "config": "quick" if quick else "paper",
+        "seed": seed,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "scenarios": {},
+    }
+    for name in names:
+        if verbose:
+            print(f"[suite] {name} ...", flush=True)
+        perf, stats = run_scenario(name, config, jobs)
+        doc["scenarios"][name] = {"perf": perf, "stats": stats}
+        if verbose:
+            print(
+                f"[suite]   {perf['wall_clock_s']:.3f}s, "
+                f"{perf['events_per_sec']} events/s, "
+                f"{perf['simulated_ios_per_sec']} simulated IOs/s, "
+                f"peak RSS {perf['peak_rss_kb']} KiB",
+                flush=True,
+            )
+    return doc
+
+
+def _json_round_trip(obj: dict) -> dict:
+    """Normalize through JSON so comparisons match on-disk goldens."""
+    return json.loads(json.dumps(obj, sort_keys=True))
+
+
+def extract_goldens(doc: dict) -> dict:
+    """The golden-relevant slice of a suite document (stats only)."""
+    return {
+        "config": doc["config"],
+        "seed": doc["seed"],
+        "scenarios": {
+            name: entry["stats"] for name, entry in doc["scenarios"].items()
+        },
+    }
+
+
+def compare_goldens(doc: dict, golden: dict) -> list[str]:
+    """Human-readable divergence list (empty = stats match the golden)."""
+    problems: list[str] = []
+    current = _json_round_trip(extract_goldens(doc))
+    for key in ("config", "seed"):
+        if current[key] != golden.get(key):
+            problems.append(
+                f"{key}: golden {golden.get(key)!r} vs current {current[key]!r}"
+            )
+    for name, want in golden.get("scenarios", {}).items():
+        got = current["scenarios"].get(name)
+        if got is None:
+            problems.append(f"scenario {name}: missing from this run")
+            continue
+        if got != want:
+            diverging = sorted(
+                field
+                for field in set(want) | set(got)
+                if want.get(field) != got.get(field)
+            )
+            problems.append(f"scenario {name}: stats diverge in {diverging}")
+    return problems
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        description="Run the unified benchmark suite and emit BENCH_suite.json."
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="CI-scale configuration"
+    )
+    parser.add_argument("--seed", type=int, default=7, help="root seed (default 7)")
+    parser.add_argument(
+        "--jobs", type=int, default=2, help="workers for grid_fanout (default 2)"
+    )
+    parser.add_argument(
+        "--scenarios",
+        nargs="+",
+        default=None,
+        choices=sorted(SCENARIOS),
+        help="scenario subset (default: all)",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_suite.json",
+        help="result file path (default: ./BENCH_suite.json)",
+    )
+    parser.add_argument(
+        "--golden",
+        default=None,
+        help="compare stats fingerprints against this golden file; exit 1 on divergence",
+    )
+    parser.add_argument(
+        "--update-golden",
+        default=None,
+        metavar="PATH",
+        help="write the current stats fingerprints as the new golden file",
+    )
+    args = parser.parse_args(argv)
+
+    doc = run_suite(
+        quick=args.quick, seed=args.seed, jobs=args.jobs, scenarios=args.scenarios
+    )
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    print(f"[suite] wrote {out_path}")
+
+    if args.update_golden:
+        golden_path = Path(args.update_golden)
+        golden_path.parent.mkdir(parents=True, exist_ok=True)
+        golden_path.write_text(
+            json.dumps(extract_goldens(doc), indent=1, sort_keys=True) + "\n"
+        )
+        print(f"[suite] wrote golden {golden_path}")
+
+    if args.golden:
+        golden = json.loads(Path(args.golden).read_text())
+        problems = compare_goldens(doc, golden)
+        if problems:
+            for p in problems:
+                print(f"[suite] GOLDEN DIVERGENCE: {p}", file=sys.stderr)
+            return 1
+        print(f"[suite] stats match golden {args.golden}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -186,6 +186,14 @@ def load_reduction(
     the paper's headline claims.  Restricted to ``intervals`` when given
     (the paper reports reductions over burst intervals).  Returns 0.0
     when the baseline carries no load.
+
+    Example:
+        >>> load_reduction([100.0, 200.0], [50.0, 100.0])
+        0.5
+        >>> load_reduction([100.0, 200.0], [50.0, 100.0], intervals=[1])
+        0.5
+        >>> load_reduction([0.0, 0.0], [10.0, 10.0])
+        0.0
     """
     base = mean_over_intervals(baseline, intervals)
     treat = mean_over_intervals(treated, intervals)

@@ -125,7 +125,7 @@ class SibController:
             return
         self._started = True
         self.configure_cache()
-        self.sim.schedule(self.config.check_interval_us, self._tick)
+        self.sim.schedule_call(self.config.check_interval_us, self._tick)
 
     # ------------------------------------------------------------------
     def _tick(self) -> None:
@@ -163,7 +163,7 @@ class SibController:
                     bypassed=len(stolen),
                 )
             )
-        self.sim.schedule(cfg.check_interval_us, self._tick)
+        self.sim.schedule_call(cfg.check_interval_us, self._tick)
 
     @property
     def total_bypassed(self) -> int:

@@ -183,58 +183,66 @@ class CacheController:
     # ------------------------------------------------------------------
     def submit(self, request: Request) -> None:
         """Route one application request through the cache."""
-        self.stats.requests += 1
-        tenant = self.stats.tenant(request.tenant_id)
+        stats = self.stats
+        stats.requests += 1
+        tenant = stats.tenant(request.tenant_id)
         tenant.requests += 1
         if request.is_write:
-            self.stats.writes += 1
+            stats.writes += 1
             tenant.writes += 1
-            self._do_write(request)
+            self._do_write(request, tenant)
         else:
-            self.stats.reads += 1
+            stats.reads += 1
             tenant.reads += 1
-            self._do_read(request)
+            self._do_read(request, tenant)
 
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
-    def _do_read(self, request: Request) -> None:
+    def _do_read(self, request: Request, tenant: TenantStats) -> None:
+        # Per-block expansion is the datapath's inner loop; every
+        # loop-invariant attribute chain is hoisted.
         now = self.sim.now
-        tenant = self.stats.tenant(request.tenant_id)
+        stats = self.stats
+        lookup = self.store.lookup
+        ssd, hdd = self.ssd, self.hdd
+        served_by = request.served_by
+        add_wait = request.add_wait
+        read_tag = OpTag.READ
         for lba in range(request.lba, request.end_lba):
-            block = self.store.lookup(lba, now)
+            block = lookup(lba, now)
             if block is not None:
-                self.stats.read_hit_blocks += 1
+                stats.read_hit_blocks += 1
                 tenant.read_hit_blocks += 1
                 op = DeviceOp(
                     lba,
                     1,
-                    is_write=False,
-                    tag=OpTag.READ,
-                    request=request,
-                    sync=True,
-                    stealable=not block.dirty,
-                    on_complete=self._sync_done,
+                    False,
+                    read_tag,
+                    request,
+                    True,
+                    not block.dirty,
+                    self._sync_done,
                 )
-                request.add_wait()
-                request.served_by.add(self.ssd.name)
-                self.ssd.submit(op)
+                add_wait()
+                served_by.add(ssd.name)
+                ssd.submit(op)
             else:
-                self.stats.read_miss_blocks += 1
+                stats.read_miss_blocks += 1
                 tenant.read_miss_blocks += 1
                 op = DeviceOp(
                     lba,
                     1,
-                    is_write=False,
-                    tag=OpTag.READ,
-                    request=request,
-                    sync=True,
-                    stealable=False,
-                    on_complete=self._miss_read_done,
+                    False,
+                    read_tag,
+                    request,
+                    True,
+                    False,
+                    self._miss_read_done,
                 )
-                request.add_wait()
-                request.served_by.add(self.hdd.name)
-                self.hdd.submit(op)
+                add_wait()
+                served_by.add(hdd.name)
+                hdd.submit(op)
 
     def _miss_read_done(self, op: DeviceOp) -> None:
         """A miss read returned from the disk: maybe promote, then complete."""
@@ -264,65 +272,53 @@ class CacheController:
     # ------------------------------------------------------------------
     # Writes
     # ------------------------------------------------------------------
-    def _do_write(self, request: Request) -> None:
+    def _do_write(self, request: Request, tenant: TenantStats) -> None:
         now = self.sim.now
         behavior = self._behavior
+        stats = self.stats
+        store = self.store
+        ssd, hdd = self.ssd, self.hdd
+        served_by = request.served_by
+        add_wait = request.add_wait
+        sync_done = self._sync_done
+        write_tag = OpTag.WRITE
+        invalidate_on_write = behavior.invalidate_on_write
+        cache_writes = behavior.cache_writes
+        writes_through = behavior.writes_through
+        writes_dirty = behavior.writes_dirty
         for lba in range(request.lba, request.end_lba):
-            self.stats.write_blocks += 1
-            if behavior.invalidate_on_write:
+            stats.write_blocks += 1
+            if invalidate_on_write:
                 # RO: the write supersedes any cached copy; the new data
                 # goes straight to the disk.
-                self.store.invalidate(lba)
-                self.stats.writes_bypassed += 1
+                store.invalidate(lba)
+                stats.writes_bypassed += 1
                 op = DeviceOp(
-                    lba,
-                    1,
-                    is_write=True,
-                    tag=OpTag.WRITE,
-                    request=request,
-                    sync=True,
-                    stealable=False,
-                    on_complete=self._sync_done,
+                    lba, 1, True, write_tag, request, True, False, sync_done
                 )
-                request.add_wait()
-                request.served_by.add(self.hdd.name)
-                self.hdd.submit(op)
+                add_wait()
+                served_by.add(hdd.name)
+                hdd.submit(op)
                 continue
 
-            if behavior.cache_writes:
-                _, eviction = self.store.insert(
-                    lba, now, dirty=behavior.writes_dirty
-                )
+            if cache_writes:
+                _, eviction = store.insert(lba, now, dirty=writes_dirty)
                 if eviction is not None and eviction.was_dirty:
                     self._flush_evicted(eviction.lba)
                 op = DeviceOp(
-                    lba,
-                    1,
-                    is_write=True,
-                    tag=OpTag.WRITE,
-                    request=request,
-                    sync=True,
-                    stealable=True,
-                    on_complete=self._sync_done,
+                    lba, 1, True, write_tag, request, True, True, sync_done
                 )
-                request.add_wait()
-                request.served_by.add(self.ssd.name)
-                self.ssd.submit(op)
+                add_wait()
+                served_by.add(ssd.name)
+                ssd.submit(op)
 
-            if behavior.writes_through:
+            if writes_through:
                 op = DeviceOp(
-                    lba,
-                    1,
-                    is_write=True,
-                    tag=OpTag.WRITE,
-                    request=request,
-                    sync=True,
-                    stealable=False,
-                    on_complete=self._sync_done,
+                    lba, 1, True, write_tag, request, True, False, sync_done
                 )
-                request.add_wait()
-                request.served_by.add(self.hdd.name)
-                self.hdd.submit(op)
+                add_wait()
+                served_by.add(hdd.name)
+                hdd.submit(op)
 
     # ------------------------------------------------------------------
     # Eviction write-back (E traffic)
@@ -471,11 +467,13 @@ class CacheController:
         if request is None or not op.sync:
             return
         if request.op_done(self.sim.now):
-            self.stats.completed += 1
-            self.stats.total_latency += request.latency
-            tenant = self.stats.tenant(request.tenant_id)
+            stats = self.stats
+            stats.completed += 1
+            latency = request.complete_time - request.arrival
+            stats.total_latency += latency
+            tenant = stats.tenant(request.tenant_id)
             tenant.completed += 1
-            tenant.total_latency += request.latency
+            tenant.total_latency += latency
             if request.bypassed:
                 tenant.bypassed += 1
             for hook in self._completion_hooks:

@@ -110,12 +110,13 @@ class CacheStore:
     # ------------------------------------------------------------------
     def lookup(self, lba: int, now: float, touch: bool = True) -> Optional[CacheBlock]:
         """Return the cached block for ``lba`` or ``None`` (counts stats)."""
-        cset = self._set_for(lba)
-        self.stats.lookups += 1
+        cset = self._sets[lba % self.num_sets]
+        stats = self.stats
+        stats.lookups += 1
         block = cset.entries.get(lba)
         if block is None:
             return None
-        self.stats.hits += 1
+        stats.hits += 1
         if touch:
             block.touch(now)
             cset.policy.on_access(cset.entries, block)

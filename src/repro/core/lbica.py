@@ -148,15 +148,21 @@ class LbicaController:
         if self._started:
             return
         self._started = True
-        self.sim.schedule(self.config.decision_interval_us, self._tick)
+        self.sim.schedule_call(self.config.decision_interval_us, self._tick)
 
     # ------------------------------------------------------------------
     def _tick(self) -> None:
-        now = self.sim.now
+        # One evaluation per decision interval; the config and device
+        # handles are loop-invariant across the whole run, so they are
+        # bound once per tick here rather than re-chained at every use.
+        sim = self.sim
+        config = self.config
+        ssd = self.ssd
+        now = sim.now
         index = self._tick_count
         self._tick_count += 1
 
-        cache_qtime = self.ssd.queue_time()
+        cache_qtime = ssd.queue_time()
         disk_qtime = self.hdd.queue_time()
         reading = self.detector.evaluate(now, cache_qtime, disk_qtime)
 
@@ -174,10 +180,10 @@ class LbicaController:
         # wherever they were served (a write bypassed to the disk under
         # RO is still workload write traffic); the cache-internal
         # promote/evict tags exist only on the SSD side.
-        ssd_window = self.tracer.take_window_counts(self.ssd.name)
+        ssd_window = self.tracer.take_window_counts(ssd.name)
         hdd_window = self.tracer.take_window_counts(self.hdd.name)
         window = None
-        if self.config.use_window_mix:
+        if config.use_window_mix:
             window = ssd_window
             window[OpTag.READ] += hdd_window.get(OpTag.READ, 0)
             window[OpTag.WRITE] += hdd_window.get(OpTag.WRITE, 0)
@@ -195,8 +201,8 @@ class LbicaController:
             # with the service-latency EWMA, which keeps climbing while a
             # drained queue's slow writes retire.
             rising = (
-                not self.config.require_rising
-                or self.ssd.qsize > self._prev_ssd_qsize
+                not config.require_rising
+                or ssd.qsize > self._prev_ssd_qsize
             )
             prev_group, streak = self._group_streak
             if rising and group is not WorkloadGroup.UNKNOWN:
@@ -207,7 +213,7 @@ class LbicaController:
             if (
                 action.policy is not None
                 and rising
-                and streak >= self.config.confirm_ticks
+                and streak >= config.confirm_ticks
             ):
                 if self.controller.set_policy(action.policy):
                     assigned = action.policy
@@ -215,7 +221,7 @@ class LbicaController:
                 bypassed = self.balancer.rebalance(now).bypassed
         else:
             self._quiet_streak += 1
-            revert = self.config.revert_after_quiet
+            revert = config.revert_after_quiet
             if (
                 revert is not None
                 and self._quiet_streak >= revert
@@ -224,7 +230,7 @@ class LbicaController:
                 self.controller.set_policy(WritePolicy.WB)
                 assigned = WritePolicy.WB
 
-        self._prev_ssd_qsize = self.ssd.qsize
+        self._prev_ssd_qsize = ssd.qsize
         self.decisions.append(
             LbicaDecision(
                 time=now,
@@ -239,7 +245,7 @@ class LbicaController:
                 bypassed=bypassed,
             )
         )
-        self.sim.schedule(self.config.decision_interval_us, self._tick)
+        sim.schedule_call(config.decision_interval_us, self._tick)
 
     # ------------------------------------------------------------------
     @property

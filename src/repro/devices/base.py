@@ -41,19 +41,24 @@ class DeviceStats:
     blocks_written: int = 0
     busy_time: float = 0.0
     total_service_time: float = 0.0
+    #: Completion counts keyed by :class:`~repro.io.request.OpTag` member;
+    #: since ``OpTag`` is a ``str`` subclass the keys hash and compare
+    #: equal to their letter (``stats.completions_by_tag.get("P")`` works).
     completions_by_tag: dict = field(default_factory=dict)
 
     def record(self, op: DeviceOp, service: float) -> None:
         """Account one completed operation."""
+        nblocks = op.nblocks
         if op.is_write:
             self.writes += 1
-            self.blocks_written += op.nblocks
+            self.blocks_written += nblocks
         else:
             self.reads += 1
-            self.blocks_read += op.nblocks
+            self.blocks_read += nblocks
         self.total_service_time += service
-        tag = op.tag.value
-        self.completions_by_tag[tag] = self.completions_by_tag.get(tag, 0) + 1
+        by_tag = self.completions_by_tag
+        tag = op.tag
+        by_tag[tag] = by_tag.get(tag, 0) + 1
 
     @property
     def total_ops(self) -> int:
@@ -108,34 +113,57 @@ class StorageDevice:
     def submit(self, op: DeviceOp) -> None:
         """Enqueue an operation and kick the dispatcher."""
         merged = self.queue.push(op, self.sim.now)
-        self._notify(op, "queue")
+        for fn in self._observers:
+            fn(op, "queue")
         if not merged:
             self._dispatch()
 
     def _dispatch(self) -> None:
+        # Cheap early-outs first: roughly half the calls (the kick after
+        # each completion) find nothing to dispatch.
+        queue = self.queue
+        if not queue.pending:
+            return
+        inflight = queue.inflight
+        depth = self.depth
+        if len(inflight) >= depth:
+            return
         now = self.sim.now
         if now < self._paused_until:
             return
-        while len(self.queue.inflight) < self.depth:
-            op = self.queue.pop_next(now)
+        # Inner loop runs once per dispatched op; hoist every attribute
+        # chain that is loop-invariant.
+        observers = self._observers
+        service_time = self.model.service_time
+        schedule = self.sim.schedule_call  # completions are never cancelled
+        complete = self._complete
+        stats = self.stats
+        while len(inflight) < depth:
+            op = queue.pop_next(now)
             if op is None:
                 return
-            service = self.model.service_time(op, now)
+            service = service_time(op, now)
             if service < 0:
                 raise ValueError(f"{self.name}: negative service time {service}")
-            self.stats.busy_time += service
-            self._notify(op, "issue")
-            self.sim.schedule(service, self._complete, op, service)
+            stats.busy_time += service
+            for fn in observers:
+                fn(op, "issue")
+            schedule(service, complete, op, service)
 
     def _complete(self, op: DeviceOp, service: float) -> None:
         now = self.sim.now
         self.queue.complete(op, now)
         self.stats.record(op, service)
         self._update_latency(op, service)
-        self._notify(op, "complete")
-        for child in (op, *op.merged):
-            if child.on_complete is not None:
-                child.on_complete(child)
+        for fn in self._observers:
+            fn(op, "complete")
+        merged = op.merged
+        if merged:
+            for child in (op, *merged):
+                if child.on_complete is not None:
+                    child.on_complete(child)
+        elif op.on_complete is not None:
+            op.on_complete(op)
         self._dispatch()
 
     # ------------------------------------------------------------------
@@ -190,12 +218,12 @@ class StorageDevice:
     def add_observer(self, fn: Callable[[DeviceOp, str], None]) -> None:
         """Register a callback invoked as ``fn(op, action)`` for every
         ``queue`` / ``issue`` / ``complete`` transition (blktrace's Q/D/C).
+
+        Observer dispatch is inlined at the three transition sites
+        (:meth:`submit`, ``_dispatch``, ``_complete``) — they run once
+        per device op.
         """
         self._observers.append(fn)
-
-    def _notify(self, op: DeviceOp, action: str) -> None:
-        for fn in self._observers:
-            fn(op, action)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"StorageDevice({self.name!r}, qsize={self.qsize})"

@@ -74,7 +74,12 @@ class SsdModel:
     def _decay_bucket(self, now: float) -> None:
         dt = now - self._bucket_time
         if dt > 0:
-            self._bucket *= float(np.exp(-dt / self.config.gc_decay_us))
+            # An idle bucket stays exactly 0.0 under decay; skipping the
+            # exp keeps read-heavy phases off the transcendental path.
+            # (np.exp, not math.exp: the two differ in the last ulp for
+            # some inputs, and run reproducibility pins the np stream.)
+            if self._bucket != 0.0:
+                self._bucket *= float(np.exp(-dt / self.config.gc_decay_us))
             self._bucket_time = now
 
     @property
@@ -103,13 +108,15 @@ class SsdModel:
     def service_time(self, op: DeviceOp, now: float) -> float:
         """Price one operation and update write-pressure state."""
         cfg = self.config
+        nblocks = op.nblocks
         if op.is_write:
             base = self.current_write_cost(now)
-            self._bucket += op.nblocks
+            self._bucket += nblocks
         else:
             self._decay_bucket(now)
             base = cfg.read_us
-        total = base + cfg.per_block_us * max(op.nblocks - 1, 0)
-        if self.rng is not None and cfg.jitter_sigma > 0:
-            total *= float(self.rng.lognormal(0.0, cfg.jitter_sigma))
+        total = base + cfg.per_block_us * max(nblocks - 1, 0)
+        rng = self.rng
+        if rng is not None and cfg.jitter_sigma > 0:
+            total *= float(rng.lognormal(0.0, cfg.jitter_sigma))
         return total

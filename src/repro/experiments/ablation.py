@@ -1,5 +1,10 @@
 """Ablations of LBICA's design choices (beyond the paper's evaluation).
 
+Reproduces: no single figure — this grid isolates the design decisions
+the paper argues for in §II–III (adaptive policy table vs fixed
+policies, tail bypass, strict SIB, replacement- and margin-sensitivity)
+to check each claim's direction independently.
+
 The paper motivates several design decisions without isolating them; the
 ablation grid does:
 

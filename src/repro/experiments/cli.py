@@ -9,6 +9,7 @@ Examples::
     lbica-experiments all --jobs 4         # fan the grid out across processes
     lbica-experiments fig4 --workloads consolidated3   # multi-VM scenario
     lbica-experiments fig7 --vms tpcc web  # ad-hoc consolidation of 2 VMs
+    lbica-experiments --list-workloads     # registered workloads + one-liners
     python -m repro.experiments fig7       # module form
 
 Each figure prints its ASCII chart and shape-check table; ``--out``
@@ -30,7 +31,11 @@ from repro.experiments.fig7 import generate_fig7
 from repro.experiments.figures import save_figure_artifacts
 from repro.experiments.headline import generate_headline
 from repro.experiments.runner import PAPER_WORKLOADS, ExperimentRunner
-from repro.experiments.system import SCHEMES, register_consolidation
+from repro.experiments.system import (
+    SCHEMES,
+    register_consolidation,
+    workload_descriptions,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -50,8 +55,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "target",
+        nargs="?",
         choices=[*sorted(_FIGURES), "headline", "ablation", "all"],
         help="which figure/report to regenerate",
+    )
+    parser.add_argument(
+        "--list-workloads",
+        action="store_true",
+        help="print every registered workload with its one-line description and exit",
     )
     parser.add_argument(
         "--workloads",
@@ -94,7 +105,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_workloads:
+        descriptions = workload_descriptions()
+        width = max(len(name) for name in descriptions)
+        for name, description in descriptions.items():
+            print(f"{name:<{width}}  {description}")
+        return 0
+    if args.target is None:
+        parser.error("a target is required (or use --list-workloads)")
     if args.jobs < 1:
         print("--jobs must be >= 1", file=sys.stderr)
         return 2

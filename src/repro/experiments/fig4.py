@@ -1,5 +1,9 @@
 """Figure 4: I/O load (max latency) on the **I/O cache** per interval.
 
+Reproduces: Fig. 4 of Ahmadian et al., "LBICA: A Load Balancer for I/O
+Cache Architectures" (DATE 2019), and the §IV-B claim that LBICA cuts
+cache load ~30% vs SIB on average.
+
 The paper plots, for each of TPC-C / mail / web, the cache's maximum
 queue latency per 10-minute interval under WB, SIB, and LBICA (Eq. 1 on
 the SSD queue).  The qualitative shape to preserve:

@@ -1,5 +1,8 @@
 """Figure 5: I/O load (max latency) on the **disk subsystem** per interval.
 
+Reproduces: Fig. 5 of Ahmadian et al. (DATE 2019) — the disk-side mirror
+of Fig. 4, showing bypassed load landing on the under-utilized disk.
+
 The mirror of Fig. 4: the same nine runs, plotted on the HDD queue.  The
 shapes to preserve:
 

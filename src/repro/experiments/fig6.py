@@ -1,5 +1,8 @@
 """Figure 6: LBICA's burst detection, characterization, and policy timeline.
 
+Reproduces: Fig. 6 of Ahmadian et al. (DATE 2019) — per-workload policy
+assignment sequences (tpcc: WO; mail: RO→WO→WB; web: RO).
+
 The paper's Fig. 6 shows, for the LBICA runs only, the cache and disk
 load curves annotated with the detected burst intervals, the detected
 workload class, and the assigned write policy:

@@ -1,5 +1,8 @@
 """Figure 7: average latency achieved by WB cache, SIB, and LBICA.
 
+Reproduces: Fig. 7 of Ahmadian et al. (DATE 2019) and the §IV-D latency
+claims (up to 22%/11.7% better than WB/SIB; TPC-C most, mail least).
+
 One bar per (workload × scheme).  Shapes to preserve (§IV-D):
 
 - LBICA has the lowest average latency on every workload;

@@ -1,5 +1,8 @@
 """The paper's headline numbers (abstract / §IV-B / §IV-C / §IV-D).
 
+Reproduces: the abstract's quantitative claims of Ahmadian et al.
+(DATE 2019) as a paper-vs-measured table (H1/H2/H3 below).
+
 Claims reproduced, each as a paper-vs-measured row:
 
 - **H1** (§IV-B): LBICA reduces the load on the I/O cache vs SIB by 30%

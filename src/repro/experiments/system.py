@@ -55,37 +55,76 @@ __all__ = [
     "SCHEMES",
     "WORKLOADS",
     "register_consolidation",
+    "workload_descriptions",
 ]
 
 #: The comparison schemes of the paper's evaluation.
 SCHEMES = ("wb", "sib", "lbica")
 
+
+def _random_read(interval_us, cache_blocks, rate_scale, max_outstanding):
+    """Group 1 synthetic: uniform random reads, mostly hits, misses promoted."""
+    return random_read_workload(
+        interval_us, cache_blocks=cache_blocks, max_outstanding=max_outstanding
+    )
+
+
+def _random_write(interval_us, cache_blocks, rate_scale, max_outstanding):
+    """Group 3 synthetic: random writes over a footprint far beyond the cache."""
+    return random_write_workload(
+        interval_us, cache_blocks=cache_blocks, max_outstanding=max_outstanding
+    )
+
+
+def _seq_read(interval_us, cache_blocks, rate_scale, max_outstanding):
+    """Group 4 synthetic: a cold sequential scan — every read misses and promotes."""
+    return sequential_read_workload(
+        interval_us, cache_blocks=cache_blocks, max_outstanding=max_outstanding
+    )
+
+
+def _seq_write(interval_us, cache_blocks, rate_scale, max_outstanding):
+    """Group 3 synthetic: a streaming sequential write over a huge span."""
+    return sequential_write_workload(
+        interval_us, cache_blocks=cache_blocks, max_outstanding=max_outstanding
+    )
+
+
+def _mixed_rw(interval_us, cache_blocks, rate_scale, max_outstanding):
+    """Group 2 synthetic: reads on a hot set mixed with medium-footprint writes."""
+    return mixed_read_write_workload(
+        interval_us, cache_blocks=cache_blocks, max_outstanding=max_outstanding
+    )
+
+
 #: Workload factories by name: f(interval_us, cache_blocks, rate_scale,
-#: max_outstanding) -> Workload.
+#: max_outstanding) -> Workload.  Every factory carries a one-line
+#: docstring — that line is what ``workload_descriptions`` (and the CLI's
+#: ``--list-workloads``) print.
 WORKLOADS: dict[str, Callable] = {
     "tpcc": tpcc_workload,
     "mail": mail_server_workload,
     "web": web_server_workload,
     "bootstorm": boot_storm_workload,
-    "random_read": lambda interval_us, cache_blocks, rate_scale, max_outstanding: random_read_workload(
-        interval_us, cache_blocks=cache_blocks, max_outstanding=max_outstanding
-    ),
-    "random_write": lambda interval_us, cache_blocks, rate_scale, max_outstanding: random_write_workload(
-        interval_us, cache_blocks=cache_blocks, max_outstanding=max_outstanding
-    ),
-    "seq_read": lambda interval_us, cache_blocks, rate_scale, max_outstanding: sequential_read_workload(
-        interval_us, cache_blocks=cache_blocks, max_outstanding=max_outstanding
-    ),
-    "seq_write": lambda interval_us, cache_blocks, rate_scale, max_outstanding: sequential_write_workload(
-        interval_us, cache_blocks=cache_blocks, max_outstanding=max_outstanding
-    ),
-    "mixed_rw": lambda interval_us, cache_blocks, rate_scale, max_outstanding: mixed_read_write_workload(
-        interval_us, cache_blocks=cache_blocks, max_outstanding=max_outstanding
-    ),
+    "random_read": _random_read,
+    "random_write": _random_write,
+    "seq_read": _seq_read,
+    "seq_write": _seq_write,
+    "mixed_rw": _mixed_rw,
     # consolidated multi-VM scenarios (one shared cache, per-VM accounting)
     "consolidated3": consolidated3_workload,
     "bootstorm_neighbors": bootstorm_neighbors_workload,
 }
+
+
+def workload_descriptions() -> dict[str, str]:
+    """Every registered workload with its one-line docstring, sorted by name."""
+    out: dict[str, str] = {}
+    for name, factory in sorted(WORKLOADS.items()):
+        doc = factory.__doc__ or ""
+        first = doc.strip().splitlines()[0].strip() if doc.strip() else ""
+        out[name] = first or "(no description)"
+    return out
 
 #: Workload names that already build multi-tenant compositions —
 #: consolidating one of these again would nest tenants, which the
@@ -138,6 +177,9 @@ def register_consolidation(names: Sequence[str]) -> str:
             max_outstanding=max_outstanding,
         )
 
+    factory.__doc__ = (
+        f"Ad-hoc consolidation: {' + '.join(names)} as VMs on one shared cache."
+    )
     WORKLOADS[scenario] = factory
     _MULTI_TENANT_NAMES.add(scenario)
     return scenario
@@ -338,13 +380,16 @@ class ExperimentSystem:
 
     # ------------------------------------------------------------------
     def _on_complete(self, request: Request) -> None:
-        lat = request.latency
+        lat = request.complete_time - request.arrival
         self._latencies.append(lat)
         if request.is_write:
             self._write_latencies.append(lat)
         else:
             self._read_latencies.append(lat)
-        self._tenant_latencies.setdefault(request.tenant_id, []).append(lat)
+        tenant_lats = self._tenant_latencies.get(request.tenant_id)
+        if tenant_lats is None:
+            tenant_lats = self._tenant_latencies[request.tenant_id] = []
+        tenant_lats.append(lat)
         if request.bypassed:
             self._bypassed += 1
 

@@ -123,27 +123,42 @@ class DeviceQueue:
         block layer's last-merge hint): same direction, same tag,
         contiguous LBA, and within ``max_merge_blocks``.
         """
-        self._account(now)
+        # push/pop_next/complete run once per device op; the occupancy
+        # integral is inlined (same arithmetic as _account) to avoid a
+        # method call plus property chain per transition.
+        pending = self.pending
+        inflight = self.inflight
+        last = self._last_change
+        if now > last:
+            self._area += (len(pending) + len(inflight)) * (now - last)
+            self._last_change = now
         op.enqueue_time = now
-        self.stats.enqueued += 1
-        self.stats.by_tag[op.tag] += 1
-        if self.max_merge_blocks and self.pending:
-            tail = self.pending[-1]
-            if tail.can_merge_back(op, self.max_merge_blocks):
+        stats = self.stats
+        stats.enqueued += 1
+        stats.by_tag[op.tag] += 1
+        max_merge = self.max_merge_blocks
+        if max_merge and pending:
+            tail = pending[-1]
+            if tail.can_merge_back(op, max_merge):
                 tail.absorb(op)
-                self.stats.merged += 1
-                self._bump_window()
+                stats.merged += 1
                 return True
-        self.pending.append(op)
-        self._bump_window()
+        pending.append(op)
+        qsize = len(pending) + len(inflight)
+        if qsize > self._window_max:
+            self._window_max = qsize
         return False
 
     def pop_next(self, now: float) -> Optional[DeviceOp]:
         """Move the head pending op to in-flight and return it."""
-        if not self.pending:
+        pending = self.pending
+        if not pending:
             return None
-        self._account(now)
-        op = self.pending.popleft()
+        last = self._last_change
+        if now > last:
+            self._area += (len(pending) + len(self.inflight)) * (now - last)
+            self._last_change = now
+        op = pending.popleft()
         op.dispatch_time = now
         self.inflight.add(op.op_id)
         self.stats.dispatched += 1
@@ -151,7 +166,10 @@ class DeviceQueue:
 
     def complete(self, op: DeviceOp, now: float) -> None:
         """Retire an in-flight op."""
-        self._account(now)
+        last = self._last_change
+        if now > last:
+            self._area += (len(self.pending) + len(self.inflight)) * (now - last)
+            self._last_change = now
         self.inflight.discard(op.op_id)
         op.complete_time = now
         self.stats.completed += 1

@@ -31,6 +31,9 @@ BLOCK_BYTES = 4096
 _req_ids = itertools.count()
 _op_ids = itertools.count()
 
+#: Shared placeholder for ops that never absorbed a merge partner.
+_NO_MERGED: tuple = ()
+
 
 class OpTag(str, Enum):
     """In-queue request types from the paper (Fig. 1 / Section III-B)."""
@@ -205,7 +208,10 @@ class DeviceOp:
         self.dispatch_time = -1.0
         self.complete_time = -1.0
         self.on_complete = on_complete
-        self.merged: list["DeviceOp"] = []
+        # Merging is rare relative to op creation; sharing one immutable
+        # empty tuple until the first absorb avoids a list allocation on
+        # every op (absorb swaps in a real list on demand).
+        self.merged: tuple | list = _NO_MERGED
 
     @property
     def end_lba(self) -> int:
@@ -238,7 +244,10 @@ class DeviceOp:
     def absorb(self, other: "DeviceOp") -> None:
         """Back-merge ``other`` into this op (completion is chained)."""
         self.nblocks += other.nblocks
-        self.merged.append(other)
+        if type(self.merged) is tuple:
+            self.merged = [other]
+        else:
+            self.merged.append(other)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "w" if self.is_write else "r"

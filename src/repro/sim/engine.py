@@ -6,6 +6,22 @@ them in ``(time, seq)`` order and advances the clock.  There is no implicit
 concurrency — everything that happens "at the same time" is serialized in
 scheduling order, which keeps runs deterministic.
 
+Hot-path design notes (this loop executes once per simulated I/O event,
+so its constant factors dominate whole-run wall clock):
+
+- The heap stores ``(time, seq, fn, args, event)`` tuples, not
+  :class:`Event` objects.  Tuple comparison happens in C; heap sifts
+  never call back into Python (``Event.__lt__`` is kept only for API
+  compatibility), and dispatch reads the callback out of the entry
+  without touching the event object.
+- Callbacks are plain ``fn(*args)`` invocations — schedule bound methods
+  plus positional arguments rather than closures, so the per-event cost
+  is one call with no cell-variable indirection and no per-event closure
+  allocation.
+- :meth:`schedule_sorted_at` batch-schedules pre-sorted arrival scripts
+  (e.g. trace replay): on an empty calendar a sorted list *is* a valid
+  heap, so the whole batch is appended in O(n) with no sift churn.
+
 Example:
     >>> sim = Simulator()
     >>> fired = []
@@ -20,8 +36,8 @@ Example:
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Callable
+from heapq import heappop, heappush
+from typing import Any, Callable, Iterable
 
 from repro.sim.events import Event
 
@@ -30,6 +46,12 @@ __all__ = ["Simulator", "SimulationError"]
 
 class SimulationError(RuntimeError):
     """Raised on invalid scheduling (e.g. scheduling into the past)."""
+
+
+#: Shared sentinel referenced by :meth:`Simulator.schedule_call` entries.
+#: It is never cancelled, so the run loop's ``event.cancelled`` check
+#: stays branch-predictable and no per-call Event allocation is needed.
+_NO_EVENT = Event(0.0, -1, None, ())
 
 
 class Simulator:
@@ -41,7 +63,11 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: list[Event] = []
+        #: Calendar entries: ``(time, seq, fn, args, event)``.  Tuples
+        #: compare in C on ``(time, seq)`` (seq is unique, so the
+        #: callback fields are never compared), and the run loop invokes
+        #: ``fn(*args)`` straight off the entry with no attribute loads.
+        self._heap: list[tuple] = []
         self._seq: int = 0
         self._events_processed: int = 0
         self._running: bool = False
@@ -66,7 +92,30 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay} µs into the past")
-        return self.schedule_at(self.now + delay, fn, *args)
+        time = self.now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, fn, args)
+        heappush(self._heap, (time, seq, fn, args, event))
+        return event
+
+    def schedule_call(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Schedule ``fn(*args)`` ``delay`` µs from now, non-cancellably.
+
+        The allocation-free fast path for the dominant schedule→pop→run
+        cycle: device completions, arrival chains, and periodic ticks are
+        never cancelled, so they share one sentinel event instead of
+        allocating a fresh :class:`Event` per call.  Use :meth:`schedule`
+        when the caller needs a cancellation handle.
+
+        Raises:
+            SimulationError: If ``delay`` is negative.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} µs into the past")
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._heap, (self.now + delay, seq, fn, args, _NO_EVENT))
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at absolute time ``time`` (µs).
@@ -78,10 +127,60 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} (now is t={self.now})"
             )
-        event = Event(time, self._seq, fn, args)
-        self._seq += 1
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, fn, args)
+        heappush(self._heap, (time, seq, fn, args, event))
         return event
+
+    def schedule_sorted_at(
+        self, items: Iterable[tuple[float, Callable[..., Any], tuple]]
+    ) -> list[Event]:
+        """Batch-schedule pre-sorted ``(time, fn, args)`` triples.
+
+        The fast path for open-loop arrival scripts (trace replay,
+        pre-computed schedules): when the calendar is empty, a
+        time-sorted batch is appended directly — a sorted array satisfies
+        the heap invariant — so the whole script costs O(n) instead of
+        O(n log n) and causes no sift churn.  With events already
+        pending, each item falls back to a normal ``heappush``.
+
+        Args:
+            items: ``(time, fn, args)`` triples in non-decreasing time
+                order, all at or after the current clock.
+
+        Returns:
+            The scheduled events, in input order.
+
+        Raises:
+            SimulationError: If an item is before the current time or the
+                batch is not sorted.  The batch is atomic: on error,
+                nothing is scheduled and no sequence numbers are consumed.
+        """
+        seq = self._seq
+        prev = self.now
+        entries: list[tuple] = []
+        events: list[Event] = []
+        for time, fn, args in items:
+            if time < prev:
+                raise SimulationError(
+                    f"batch not sorted or in the past at t={time} "
+                    f"(previous t={prev}, now t={self.now})"
+                )
+            prev = time
+            event = Event(time, seq, fn, args)
+            entries.append((time, seq, fn, args, event))
+            events.append(event)
+            seq += 1
+        # Commit only after the whole batch validated.
+        self._seq = seq
+        heap = self._heap
+        if not heap:  # empty calendar: sorted extend keeps the invariant
+            heap.extend(entries)
+        else:
+            for entry in entries:
+                heappush(heap, entry)
+        return events
 
     @staticmethod
     def cancel(event: Event) -> None:
@@ -101,17 +200,30 @@ class Simulator:
         self._running = True
         self._stopped = False
         heap = self._heap
+        pop = heappop
         try:
-            while heap and not self._stopped:
-                event = heap[0]
-                if until is not None and event.time > until:
-                    break
-                heapq.heappop(heap)
-                if event.cancelled:
-                    continue
-                self.now = event.time
-                self._events_processed += 1
-                event.fn(*event.args)
+            if until is None:
+                # Dominant dispatch cycle: pop, advance, call.  The
+                # counter stays a live attribute so callbacks (and
+                # nested step() calls) always see the true count.
+                while heap and not self._stopped:
+                    time, _, fn, args, event = pop(heap)
+                    if event.cancelled:
+                        continue
+                    self.now = time
+                    self._events_processed += 1
+                    fn(*args)
+            else:
+                while heap and not self._stopped:
+                    time = heap[0][0]
+                    if time > until:
+                        break
+                    _, _, fn, args, event = pop(heap)
+                    if event.cancelled:
+                        continue
+                    self.now = time
+                    self._events_processed += 1
+                    fn(*args)
         finally:
             self._running = False
         if until is not None and self.now < until and not self._stopped:
@@ -120,19 +232,30 @@ class Simulator:
     def step(self) -> bool:
         """Process exactly one (non-cancelled) event.
 
+        Mirrors :meth:`run`'s bookkeeping: a prior :meth:`stop` request is
+        cleared (as ``run`` does on entry), ``_running`` is held while the
+        callback executes, and cancelled events are skipped without
+        counting.
+
         Returns:
             ``True`` if an event was processed, ``False`` if the heap is
             empty.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self.now = event.time
-            self._events_processed += 1
-            event.fn(*event.args)
-            return True
-        return False
+        self._running = True
+        self._stopped = False
+        heap = self._heap
+        try:
+            while heap:
+                time, _, fn, args, event = heappop(heap)
+                if event.cancelled:
+                    continue
+                self.now = time
+                self._events_processed += 1
+                fn(*args)
+                return True
+            return False
+        finally:
+            self._running = False
 
     def stop(self) -> None:
         """Request that :meth:`run` return after the current event."""
@@ -141,6 +264,16 @@ class Simulator:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        """Whether the loop is currently executing an event."""
+        return self._running
+
+    @property
+    def stop_requested(self) -> bool:
+        """Whether a :meth:`stop` request is pending (cleared on run/step)."""
+        return self._stopped
+
     @property
     def pending_events(self) -> int:
         """Number of events still in the heap (including cancelled ones)."""
@@ -153,9 +286,10 @@ class Simulator:
 
     def peek_time(self) -> float | None:
         """Firing time of the next active event, or ``None`` if empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][4].cancelled:
+            heappop(heap)
+        return heap[0][0] if heap else None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -15,7 +15,7 @@ from typing import Iterable
 
 from repro.devices.base import StorageDevice
 from repro.io.request import DeviceOp, OpTag
-from repro.trace.records import TraceRecord
+from repro.trace.records import _ACTION_FOR, TraceRecord
 
 __all__ = ["BlkTracer"]
 
@@ -49,17 +49,35 @@ class BlkTracer:
         device.add_observer(self._make_observer(device.name))
 
     def _make_observer(self, name: str):
+        # Hot path: one call per queue/issue/complete transition on every
+        # device op.  Everything reachable without attribute lookups is
+        # captured in the closure; the record is built positionally.
         window = self._windows[name]
+        records = self.records
+        append = records.append
+        maxlen = records.maxlen
+        record_cls = TraceRecord
+        action_for = _ACTION_FOR
+        sim = self.sim
 
         def observe(op: DeviceOp, transition: str) -> None:
             if not self.enabled:
                 return
             if transition == "queue":
                 window[op.tag] += 1
-            if len(self.records) == self.records.maxlen:
+            if len(records) == maxlen:
                 self.dropped += 1
-            self.records.append(
-                TraceRecord.from_transition(self.sim.now, name, op, transition)
+            append(
+                record_cls(
+                    sim.now,
+                    name,
+                    action_for[transition],
+                    op.tag,
+                    op.is_write,
+                    op.lba,
+                    op.nblocks,
+                    op.op_id,
+                )
             )
 
         return observe

@@ -95,7 +95,7 @@ class _WindowAccum:
             self.reads += 1
         if request.bypassed:
             self.bypassed += 1
-        lat = request.latency
+        lat = request.complete_time - request.arrival
         self.total_latency += lat
         if lat > self.max_latency:
             self.max_latency = lat
@@ -146,7 +146,7 @@ class IostatMonitor:
         now = self.sim.now
         self.ssd.queue.reset_window(now)
         self.hdd.queue.reset_window(now)
-        self.sim.schedule(self.interval_us, self._tick)
+        self.sim.schedule_call(self.interval_us, self._tick)
 
     def record_completion(self, request: Request) -> None:
         """Feed a completed application request into the current window."""
@@ -201,7 +201,7 @@ class IostatMonitor:
         self.hdd.queue.reset_window(now)
         if self._on_sample is not None:
             self._on_sample(sample)
-        self.sim.schedule(self.interval_us, self._tick)
+        self.sim.schedule_call(self.interval_us, self._tick)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"IostatMonitor(interval={self.interval_us}µs, samples={len(self.samples)})"

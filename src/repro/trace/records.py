@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.io.request import OpTag
 
@@ -14,9 +14,14 @@ ACTIONS = ("Q", "D", "C")
 _ACTION_FOR = {"queue": "Q", "issue": "D", "complete": "C"}
 
 
-@dataclass(frozen=True)
-class TraceRecord:
+class TraceRecord(NamedTuple):
     """One block-layer event, blktrace style.
+
+    A :class:`~typing.NamedTuple` rather than a dataclass: one record is
+    allocated per queue/issue/complete transition on every device op, so
+    construction cost is squarely on the simulator's hot path (tuple
+    construction happens in C; a frozen dataclass pays a Python-level
+    ``__setattr__`` per field).
 
     Attributes:
         time: Event time (µs).
@@ -37,20 +42,6 @@ class TraceRecord:
     lba: int
     nblocks: int
     op_id: int
-
-    @classmethod
-    def from_transition(cls, now: float, device: str, op, transition: str) -> "TraceRecord":
-        """Build a record from a device observer callback."""
-        return cls(
-            time=now,
-            device=device,
-            action=_ACTION_FOR[transition],
-            tag=op.tag,
-            is_write=op.is_write,
-            lba=op.lba,
-            nblocks=op.nblocks,
-            op_id=op.op_id,
-        )
 
     def format_line(self) -> str:
         """Render the record in the project's text trace format."""

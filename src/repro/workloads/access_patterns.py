@@ -9,6 +9,7 @@ that drives the paper's workload characterization.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from bisect import bisect_right
 
 import numpy as np
 
@@ -74,14 +75,22 @@ class ZipfPattern(AddressPattern):
         self.span = span
         self.s = s
         weights = 1.0 / np.power(np.arange(1, span + 1, dtype=np.float64), s)
-        self._cdf = np.cumsum(weights)
-        self._cdf /= self._cdf[-1]
-        self._perm = np.random.default_rng(perm_seed).permutation(span)
+        cdf = np.cumsum(weights)
+        cdf /= cdf[-1]
+        # Only Python-list forms are kept: bisect on a list beats a
+        # scalar np.searchsorted call, returns the identical index (both
+        # are exact binary searches over the same doubles), and dropping
+        # the numpy originals halves the per-pattern resident footprint.
+        self._cdf: list[float] = cdf.tolist()
+        self._perm: list[int] = (
+            np.random.default_rng(perm_seed).permutation(span).tolist()
+        )
 
     def sample(self, rng: np.random.Generator) -> int:
-        rank = int(np.searchsorted(self._cdf, rng.random(), side="right"))
-        rank = min(rank, self.span - 1)
-        return self.start + int(self._perm[rank])
+        rank = bisect_right(self._cdf, rng.random())
+        if rank >= self.span:
+            rank = self.span - 1
+        return self.start + self._perm[rank]
 
     @property
     def footprint(self) -> int:
@@ -170,12 +179,15 @@ class MixPattern(AddressPattern):
         total = sum(p for p, _ in components)
         if total <= 0:
             raise ValueError("weights must sum to a positive value")
-        self._cut = np.cumsum([p / total for p, _ in components])
+        self._cut: list[float] = np.cumsum(
+            [p / total for p, _ in components]
+        ).tolist()
         self._patterns = [pat for _, pat in components]
 
     def sample(self, rng: np.random.Generator) -> int:
-        idx = int(np.searchsorted(self._cut, rng.random(), side="right"))
-        idx = min(idx, len(self._patterns) - 1)
+        idx = bisect_right(self._cut, rng.random())
+        if idx >= len(self._patterns):
+            idx = len(self._patterns) - 1
         return self._patterns[idx].sample(rng)
 
     @property

@@ -133,6 +133,9 @@ class Workload:
         self._sim = None
         self._submit: Optional[Callable[[Request], None]] = None
         self._rng: Optional[np.random.Generator] = None
+        # Derived values of the phase currently generating arrivals,
+        # recomputed only on phase change (see _arrive).
+        self._phase_derived: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     @property
@@ -181,7 +184,7 @@ class Workload:
         self._sim = sim
         self._submit = submit
         self._rng = rng
-        sim.schedule(self._next_gap(), self._arrive)
+        sim.schedule_call(self._next_gap(), self._arrive)
 
     def on_request_complete(self, request: Request) -> None:
         """Backpressure hook: wire to the cache controller's completion."""
@@ -189,7 +192,7 @@ class Workload:
         if self._throttled and self._outstanding < self.max_outstanding:
             self._throttled = False
             if self._sim.now < self.duration_us:
-                self._sim.schedule(self._next_gap(), self._arrive)
+                self._sim.schedule_call(self._next_gap(), self._arrive)
 
     # ------------------------------------------------------------------
     def _current_phase(self) -> Optional[PhaseSpec]:
@@ -222,19 +225,38 @@ class Workload:
             self._throttled = True
             return  # resumed by on_request_complete
         rng = self._rng
-        is_write = bool(rng.random() < phase.write_frac)
-        pattern = phase.write_pattern if is_write else phase.pattern_read
-        lba = pattern.sample(rng)
-        nblocks = self._draw_size(phase)
+        # One arrival per event makes this the generator's inner loop:
+        # phase-derived lookups (properties, isinstance dispatch) are
+        # cached until the phase changes.  RNG draw order is untouched.
+        derived = self._phase_derived
+        if derived is None or derived[0] is not phase:
+            pattern_write = phase.write_pattern
+            size = phase.size_blocks
+            derived = (
+                phase,
+                phase.write_frac,
+                phase.pattern_read.sample,
+                pattern_write.sample,
+                size if isinstance(size, int) else None,
+            )
+            self._phase_derived = derived
+        _, write_frac, sample_read, sample_write, fixed_size = derived
+        is_write = bool(rng.random() < write_frac)
+        lba = sample_write(rng) if is_write else sample_read(rng)
+        nblocks = fixed_size if fixed_size is not None else self._draw_size(phase)
         request = Request(self._sim.now, lba, nblocks, is_write)
-        self.stats.generated += 1
+        stats = self.stats
+        stats.generated += 1
         if is_write:
-            self.stats.writes += 1
+            stats.writes += 1
         else:
-            self.stats.reads += 1
+            stats.reads += 1
         self._outstanding += 1
         self._submit(request)
-        self._sim.schedule(self._next_gap(), self._arrive)
+        # _next_gap inlined: the active phase is already in hand.
+        self._sim.schedule_call(
+            float(rng.exponential(1e6 / phase.rate_iops)), self._arrive
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

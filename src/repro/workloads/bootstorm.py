@@ -24,7 +24,7 @@ def boot_storm_workload(
     n_vms: int = 64,
     max_outstanding: int = 256,
 ) -> Workload:
-    """Build a boot-storm workload.
+    """Boot storm: many VMs cold-reading OS images at once (beyond-paper scenario).
 
     Args:
         interval_us: Monitoring interval length (µs).

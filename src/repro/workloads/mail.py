@@ -36,7 +36,7 @@ def mail_server_workload(
     rate_scale: float = 1.0,
     max_outstanding: int = 256,
 ) -> Workload:
-    """Build the mail-server-like workload (see module docstring)."""
+    """Mail server: mixed R/W, a scan burst, then a delivery write storm (paper workload 2)."""
     hot_span = int(cache_blocks * 0.44)
     reads_hot = HotColdPattern(
         hot_start=0,

@@ -58,15 +58,20 @@ class ReplayWorkload:
         return self.records[-1].time * self.time_scale if self.records else 0.0
 
     def bind(self, sim, submit: Callable[[Request], None], rng=None) -> None:
-        """Schedule every arrival on the simulator (rng unused)."""
-        for rec in self.records:
-            sim.schedule_at(
-                max(rec.time * self.time_scale, sim.now),
-                self._emit,
-                sim,
-                submit,
-                rec,
-            )
+        """Schedule every arrival on the simulator (rng unused).
+
+        The records are already time-sorted, so the whole script goes
+        through :meth:`~repro.sim.engine.Simulator.schedule_sorted_at` —
+        on an idle simulator the batch is appended in O(n) without any
+        heap churn.
+        """
+        now = sim.now
+        scale = self.time_scale
+        emit = self._emit
+        sim.schedule_sorted_at(
+            (max(rec.time * scale, now), emit, (sim, submit, rec))
+            for rec in self.records
+        )
 
     def _emit(self, sim, submit: Callable[[Request], None], rec: TraceRecord) -> None:
         request = Request(sim.now, rec.lba, rec.nblocks, rec.is_write)

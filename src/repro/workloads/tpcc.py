@@ -36,7 +36,7 @@ def tpcc_workload(
     rate_scale: float = 1.0,
     max_outstanding: int = 256,
 ) -> Workload:
-    """Build the TPC-C-like workload.
+    """TPC-C-like OLTP: hot random reads with a random-read burst (paper workload 1).
 
     Args:
         interval_us: Monitoring interval length (µs).

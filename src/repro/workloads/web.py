@@ -30,7 +30,7 @@ def web_server_workload(
     rate_scale: float = 1.0,
     max_outstanding: int = 256,
 ) -> Workload:
-    """Build the web-server-like workload (see module docstring)."""
+    """Web server: an immediate mixed read-write burst over hot content (paper workload 3)."""
     hot_span = int(cache_blocks * 0.44)
     reads = HotColdPattern(
         hot_start=0,

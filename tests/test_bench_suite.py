@@ -1,0 +1,85 @@
+"""Golden-stats tests for the unified benchmark suite.
+
+The committed golden file pins the deterministic stats fingerprint of
+every canonical scenario at quick scale.  Any engine change that alters
+simulation results — event ordering, RNG consumption, float arithmetic —
+trips these tests; a pure performance optimization must keep them green
+(the ISSUE-2 "bit-identical ``RunResult`` stats" guarantee).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.config import quick_config
+
+_REPO = Path(__file__).resolve().parent.parent
+_GOLDEN_PATH = _REPO / "benchmarks" / "golden" / "suite_quick.json"
+
+_spec = importlib.util.spec_from_file_location(
+    "bench_suite", _REPO / "benchmarks" / "suite.py"
+)
+suite = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(suite)
+
+GOLDEN = json.loads(_GOLDEN_PATH.read_text())
+
+
+def _normalized(stats: dict) -> dict:
+    """Round-trip through JSON so floats/keys compare like the on-disk golden."""
+    return json.loads(json.dumps(stats, sort_keys=True))
+
+
+class TestGoldenStats:
+    def test_golden_covers_all_scenarios(self):
+        assert set(GOLDEN["scenarios"]) == set(suite.SCENARIOS)
+        assert GOLDEN["config"] == "quick"
+
+    @pytest.mark.parametrize(
+        "name", ["fig4_single_vm", "consolidated3", "bootstorm_neighbors"]
+    )
+    def test_single_scenario_stats_match_golden(self, name):
+        config = quick_config(GOLDEN["seed"])
+        _, stats = suite.run_scenario(name, config)
+        assert _normalized(stats) == GOLDEN["scenarios"][name], (
+            f"{name}: RunResult stats diverge from the committed golden — "
+            "either a behavior change leaked into the engine, or the golden "
+            "needs a deliberate refresh via "
+            "`python benchmarks/suite.py --quick --update-golden "
+            "benchmarks/golden/suite_quick.json`"
+        )
+
+    def test_grid_fanout_stats_match_golden(self):
+        # max_workers=2 also regression-checks that the parallel grid stays
+        # bit-identical to the serial results the golden was verified against.
+        config = quick_config(GOLDEN["seed"])
+        _, stats = suite.run_scenario("grid_fanout", config, jobs=2)
+        assert _normalized(stats) == GOLDEN["scenarios"]["grid_fanout"]
+
+
+class TestSuitePlumbing:
+    def test_compare_goldens_detects_divergence(self):
+        doc = {
+            "config": "quick",
+            "seed": GOLDEN["seed"],
+            "scenarios": {
+                name: {"perf": {}, "stats": dict(stats)}
+                for name, stats in GOLDEN["scenarios"].items()
+            },
+        }
+        assert suite.compare_goldens(doc, GOLDEN) == []
+        doc["scenarios"]["fig4_single_vm"]["stats"] = dict(
+            doc["scenarios"]["fig4_single_vm"]["stats"], completed=-1
+        )
+        problems = suite.compare_goldens(doc, GOLDEN)
+        assert any("fig4_single_vm" in p and "completed" in p for p in problems)
+
+    def test_fingerprint_has_no_timing_fields(self):
+        config = quick_config(GOLDEN["seed"])
+        perf, stats = suite.run_scenario("fig4_single_vm", config)
+        assert "wall_clock_s" in perf and "peak_rss_kb" in perf
+        assert not any("wall" in k or "rss" in k for k in stats)

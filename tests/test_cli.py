@@ -33,6 +33,25 @@ class TestParser:
         assert args.out == "x"
 
 
+class TestListWorkloads:
+    def test_lists_every_registered_workload(self, capsys):
+        from repro.experiments.system import WORKLOADS
+
+        code = main(["--list-workloads"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in WORKLOADS:
+            assert name in out
+        # each line carries a real one-line description
+        lines = [l for l in out.splitlines() if l.strip()]
+        assert len(lines) == len(WORKLOADS)
+        assert all(len(l.split(None, 1)) == 2 for l in lines)
+
+    def test_target_still_required_without_flag(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
 class TestMain:
     def test_fig7_quick_single_workload(self, capsys, tmp_path):
         code = main(

@@ -123,6 +123,84 @@ class TestCancellation:
         assert keep.active
 
 
+class TestBatchScheduling:
+    def test_sorted_batch_fires_in_order(self):
+        sim = Simulator()
+        fired = []
+        events = sim.schedule_sorted_at(
+            [(1.0, fired.append, ("a",)), (2.0, fired.append, ("b",)), (2.0, fired.append, ("c",))]
+        )
+        assert len(events) == 3
+        sim.run()
+        assert fired == ["a", "b", "c"]
+        assert sim.now == 2.0
+
+    def test_batch_onto_empty_heap_appends_without_sifting(self):
+        sim = Simulator()
+        sim.schedule_sorted_at((float(i), (lambda: None), ()) for i in range(100))
+        # a sorted batch on an empty calendar is stored in input order
+        assert [entry[0] for entry in sim._heap] == [float(i) for i in range(100)]
+
+    def test_batch_interleaves_with_existing_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.5, fired.append, "mid")
+        sim.schedule_sorted_at([(1.0, fired.append, ("lo",)), (2.0, fired.append, ("hi",))])
+        sim.run()
+        assert fired == ["lo", "mid", "hi"]
+
+    def test_unsorted_batch_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_sorted_at([(2.0, lambda: None, ()), (1.0, lambda: None, ())])
+
+    def test_failed_batch_is_atomic(self):
+        sim = Simulator()
+        fired = []
+        with pytest.raises(SimulationError):
+            sim.schedule_sorted_at(
+                [(1.0, fired.append, ("a",)), (0.5, fired.append, ("b",))]
+            )
+        assert sim.pending_events == 0  # nothing half-scheduled
+        first = sim.schedule(1.0, fired.append, "ok")
+        assert first.seq == 0  # no sequence numbers were consumed either
+        sim.run()
+        assert fired == ["ok"]
+
+    def test_batch_into_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_sorted_at([(5.0, lambda: None, ())])
+
+    def test_batch_events_are_cancellable(self):
+        sim = Simulator()
+        fired = []
+        events = sim.schedule_sorted_at(
+            [(1.0, fired.append, ("a",)), (2.0, fired.append, ("b",))]
+        )
+        sim.cancel(events[0])
+        sim.run()
+        assert fired == ["b"]
+
+
+class TestScheduleCall:
+    def test_schedule_call_fires_like_schedule(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_call(2.0, fired.append, "x")
+        sim.schedule(1.0, fired.append, "y")
+        sim.run()
+        assert fired == ["y", "x"]
+        assert sim.events_processed == 2
+
+    def test_schedule_call_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_call(-0.5, lambda: None)
+
+
 class TestStepAndStop:
     def test_step_processes_single_event(self):
         sim = Simulator()
@@ -145,6 +223,39 @@ class TestStepAndStop:
         assert fired == [1]
         sim.run()  # resumes
         assert fired == [1, 3]
+
+    def test_stop_then_step_clears_stop_like_run_does(self):
+        # Regression (ISSUE 2): step() used to bypass the _running/_stopped
+        # bookkeeping and silently carry a stale stop() request across calls.
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(2.0, fired.append, 2)
+        sim.stop()
+        assert sim.stop_requested
+        assert sim.step()  # a prior stop() is cleared on entry, as in run()
+        assert fired == [1]
+        assert not sim.stop_requested
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_step_maintains_running_flag(self):
+        sim = Simulator()
+        observed = []
+        sim.schedule(1.0, lambda: observed.append(sim.running))
+        assert not sim.running
+        sim.step()
+        assert observed == [True]
+        assert not sim.running
+
+    def test_stop_during_step_is_visible_afterwards(self):
+        sim = Simulator()
+        sim.schedule(1.0, sim.stop)
+        sim.schedule(2.0, lambda: None)
+        sim.step()
+        assert sim.stop_requested  # recorded, and cleared by the next run()
+        sim.run()
+        assert sim.events_processed == 2
 
     def test_peek_time_skips_cancelled(self):
         sim = Simulator()
