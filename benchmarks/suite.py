@@ -49,45 +49,13 @@ except ImportError:  # pragma: no cover - path bootstrap
 
 from repro.config import SystemConfig, paper_config, quick_config
 from repro.experiments.runner import PAPER_WORKLOADS, run_grid
-from repro.experiments.system import SCHEMES, ExperimentSystem, RunResult
+from repro.experiments.system import SCHEMES
+from repro.scenario import get_scenario, stats_fingerprint  # noqa: F401 (re-export)
 
 __all__ = ["SCENARIOS", "run_scenario", "run_suite", "stats_fingerprint", "main"]
 
 #: The scenario quoted in speedup claims (single VM, Fig. 4 shape).
 CANONICAL = "fig4_single_vm"
-
-
-def stats_fingerprint(result: RunResult) -> dict:
-    """A deterministic, JSON-stable digest of a run's statistics.
-
-    Contains no timing or memory numbers — two runs of the same code,
-    seed, and config produce the exact same fingerprint, and an optimized
-    engine is required to keep it bit-identical (floats round-trip
-    exactly through JSON via ``repr``).
-    """
-    return {
-        "workload": result.workload,
-        "scheme": result.scheme,
-        "completed": result.completed,
-        "events_processed": result.events_processed,
-        "mean_latency": result.mean_latency,
-        "latency_sum": sum(result.latencies),
-        "latency_max": max(result.latencies, default=0.0),
-        "read_latency_sum": sum(result.read_latencies),
-        "write_latency_sum": sum(result.write_latencies),
-        "bypassed_requests": result.bypassed_requests,
-        "cache_stats": result.cache_stats,
-        "store_stats": result.store_stats,
-        "ssd_queue_stats": result.ssd_queue_stats,
-        "hdd_queue_stats": result.hdd_queue_stats,
-        "workload_stats": result.workload_stats,
-        "n_samples": len(result.samples),
-        "cache_load_sum": sum(result.cache_load_series()),
-        "disk_load_sum": sum(result.disk_load_series()),
-        "n_policy_log": len(result.policy_log),
-        "n_lbica_decisions": len(result.lbica_decisions),
-        "tenant_stats": {str(t): s for t, s in result.tenant_stats.items()},
-    }
 
 
 def _peak_rss_kb() -> int:
@@ -97,9 +65,11 @@ def _peak_rss_kb() -> int:
     return max(self_kb, child_kb)
 
 
-def _run_single(workload: str, scheme: str, config: SystemConfig) -> tuple[dict, dict]:
+def _run_single(scenario_name: str, config: SystemConfig) -> tuple[dict, dict]:
+    """One registry scenario under the suite's config (timed)."""
+    spec = get_scenario(scenario_name)
     t0 = time.perf_counter()
-    result = ExperimentSystem.build(workload, scheme, config).run()
+    result = spec.run(config=config)
     wall = time.perf_counter() - t0
     perf = {
         "wall_clock_s": round(wall, 4),
@@ -134,12 +104,14 @@ def _run_grid_fanout(config: SystemConfig, jobs: int) -> tuple[dict, dict]:
     return perf, stats
 
 
-#: name -> factory(config, jobs) -> (perf dict, stats fingerprint)
+#: name -> factory(config, jobs) -> (perf dict, stats fingerprint).  The
+#: single-run entries are registered :class:`ScenarioSpec`s by the same
+#: name; ``grid_fanout`` is the parallel (workload × scheme) grid.
 SCENARIOS: dict[str, Callable[[SystemConfig, int], tuple[dict, dict]]] = {
-    CANONICAL: lambda cfg, jobs: _run_single("tpcc", "lbica", cfg),
-    "consolidated3": lambda cfg, jobs: _run_single("consolidated3", "lbica", cfg),
+    CANONICAL: lambda cfg, jobs: _run_single(CANONICAL, cfg),
+    "consolidated3": lambda cfg, jobs: _run_single("consolidated3", cfg),
     "bootstorm_neighbors": lambda cfg, jobs: _run_single(
-        "bootstorm_neighbors", "lbica", cfg
+        "bootstorm_neighbors", cfg
     ),
     "grid_fanout": _run_grid_fanout,
 }

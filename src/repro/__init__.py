@@ -15,7 +15,10 @@ discrete-event simulation:
 - :mod:`repro.baselines` — the WB and SIB comparison schemes;
 - :mod:`repro.analysis` — metrics, series, ASCII plots, reports;
 - :mod:`repro.experiments` — one harness per paper figure (4, 5, 6, 7)
-  plus headline numbers and ablations.
+  plus headline numbers and ablations;
+- :mod:`repro.scenario` — declarative :class:`ScenarioSpec` scenarios
+  (JSON in, bit-identical experiment out), the scenario registry, and
+  the smoke runner.
 
 Quickstart::
 
@@ -24,6 +27,12 @@ Quickstart::
     system = ExperimentSystem.build("tpcc", "lbica", paper_config())
     result = system.run()
     print(result.summary())
+
+or, the same run as data::
+
+    from repro import ScenarioSpec
+
+    result = ScenarioSpec(name="demo", workload="tpcc", scheme="lbica").run()
 """
 
 from repro.config import SystemConfig, paper_config, quick_config
@@ -35,6 +44,7 @@ from repro.core import (
     WorkloadGroup,
 )
 from repro.experiments.system import ExperimentSystem, RunResult
+from repro.scenario import ScenarioSpec, load_scenario
 
 __all__ = [
     "SystemConfig",
@@ -47,6 +57,8 @@ __all__ = [
     "LbicaConfig",
     "ExperimentSystem",
     "RunResult",
+    "ScenarioSpec",
+    "load_scenario",
 ]
 
 __version__ = "1.0.0"

@@ -23,13 +23,24 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
-from repro.baselines.sib import SibConfig
 from repro.cache.write_policy import WritePolicy
 from repro.config import SystemConfig, paper_config
-from repro.core.lbica import LbicaConfig
-from repro.experiments.system import ExperimentSystem, RunResult
+from repro.experiments.system import RunResult
+from repro.scenario.spec import ScenarioSpec
 
 __all__ = ["AblationResult", "run_ablations", "run_fixed_policy"]
+
+
+def _run_variant(
+    workload: str,
+    scheme: str,
+    config: SystemConfig,
+    fixed_policy: Optional[str] = None,
+) -> RunResult:
+    """Run one ablation variant through the scenario layer."""
+    spec = ScenarioSpec.from_config(config, workload=workload, scheme=scheme)
+    spec.fixed_policy = fixed_policy
+    return spec.run()
 
 
 @dataclass
@@ -73,9 +84,7 @@ def run_fixed_policy(
     workload: str, policy: WritePolicy, config: SystemConfig
 ) -> RunResult:
     """Run a workload with one write policy pinned for the whole run."""
-    system = ExperimentSystem.build(workload, "wb", config)
-    system.controller.set_policy(policy)
-    return system.run()
+    return _run_variant(workload, "wb", config, fixed_policy=policy.value)
 
 
 def run_ablations(
@@ -90,8 +99,8 @@ def run_ablations(
     out = AblationResult()
 
     # adaptive LBICA vs fixed policies
-    out.add("lbica (adaptive)", ExperimentSystem.build(workload, "lbica", config).run())
-    out.add("fixed WB", ExperimentSystem.build(workload, "wb", config).run())
+    out.add("lbica (adaptive)", _run_variant(workload, "lbica", config))
+    out.add("fixed WB", _run_variant(workload, "wb", config))
     for policy in (WritePolicy.WO, WritePolicy.RO, WritePolicy.WT):
         out.add(f"fixed {policy.value}", run_fixed_policy(workload, policy, config))
 
@@ -99,33 +108,28 @@ def run_ablations(
     no_bypass = replace(
         config, lbica=replace(config.lbica, max_bypass_per_round=1)
     )
-    out.add(
-        "lbica, tail bypass ~off",
-        ExperimentSystem.build(workload, "lbica", no_bypass).run(),
-    )
+    out.add("lbica, tail bypass ~off", _run_variant(workload, "lbica", no_bypass))
 
     # strict WT+WO SIB (no read promotion — Kim et al.'s literal design)
     strict = replace(config, sib=replace(config.sib, promote_on_miss=False))
-    out.add("sib (default WT)", ExperimentSystem.build(workload, "sib", config).run())
-    out.add(
-        "sib (strict WT+WO)", ExperimentSystem.build(workload, "sib", strict).run()
-    )
+    out.add("sib (default WT)", _run_variant(workload, "sib", config))
+    out.add("sib (strict WT+WO)", _run_variant(workload, "sib", strict))
 
+    # the remaining grids are declarative sweeps over the base spec
+    base = ScenarioSpec.from_config(config, workload=workload, scheme="lbica")
     if include_replacement_sweep:
-        for repl in ("lru", "fifo", "clock", "lfu"):
-            cfg = replace(config, replacement=repl)
-            out.add(
-                f"lbica, {repl}",
-                ExperimentSystem.build(workload, "lbica", cfg).run(),
-            )
+        replacements = ["lru", "fifo", "clock", "lfu"]
+        for repl, spec in zip(
+            replacements, base.sweep({"system.replacement": replacements})
+        ):
+            out.add(f"lbica, {repl}", spec.run())
 
     if include_margin_sweep:
-        for margin in (1.0, 1.5, 2.0):
-            cfg = replace(config, lbica=replace(config.lbica, margin=margin))
-            out.add(
-                f"lbica, margin={margin}",
-                ExperimentSystem.build(workload, "lbica", cfg).run(),
-            )
+        margins = [1.0, 1.5, 2.0]
+        for margin, spec in zip(
+            margins, base.sweep({"system.lbica.margin": margins})
+        ):
+            out.add(f"lbica, margin={margin}", spec.run())
 
     return out
 
@@ -143,10 +147,9 @@ def run_disk_headroom_sweep(
     """
     config = config or paper_config()
     out = AblationResult()
-    for n_disks in disk_counts:
-        cfg = replace(config, hdd_disks=n_disks)
-        out.add(
-            f"lbica, {n_disks} spindle(s)",
-            ExperimentSystem.build(workload, "lbica", cfg).run(),
-        )
+    base = ScenarioSpec.from_config(config, workload=workload, scheme="lbica")
+    for n_disks, spec in zip(
+        disk_counts, base.sweep({"system.hdd_disks": list(disk_counts)})
+    ):
+        out.add(f"lbica, {n_disks} spindle(s)", spec.run())
     return out

@@ -10,6 +10,9 @@ Examples::
     lbica-experiments fig4 --workloads consolidated3   # multi-VM scenario
     lbica-experiments fig7 --vms tpcc web  # ad-hoc consolidation of 2 VMs
     lbica-experiments --list-workloads     # registered workloads + one-liners
+    lbica-experiments --list-scenarios     # registered scenario specs
+    lbica-experiments --scenario examples/scenarios/consolidated3.json
+    lbica-experiments --dump-scenario consolidated3 > my_scenario.json
     python -m repro.experiments fig7       # module form
 
 Each figure prints its ASCII chart and shape-check table; ``--out``
@@ -30,11 +33,18 @@ from repro.experiments.fig6 import generate_fig6
 from repro.experiments.fig7 import generate_fig7
 from repro.experiments.figures import save_figure_artifacts
 from repro.experiments.headline import generate_headline
-from repro.experiments.runner import PAPER_WORKLOADS, ExperimentRunner
+from repro.experiments.runner import PAPER_WORKLOADS, ExperimentRunner, run_spec_grid
 from repro.experiments.system import (
     SCHEMES,
     register_consolidation,
+    resolve_workload_name,
     workload_descriptions,
+)
+from repro.scenario import (
+    get_scenario,
+    load_scenario,
+    scenario_descriptions,
+    stats_fingerprint,
 )
 
 __all__ = ["main", "build_parser"]
@@ -65,6 +75,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="print every registered workload with its one-line description and exit",
     )
     parser.add_argument(
+        "--list-scenarios",
+        action="store_true",
+        help="print every registered scenario with its one-line description and exit",
+    )
+    parser.add_argument(
+        "--scenario",
+        default=None,
+        metavar="FILE.json",
+        help=(
+            "run a declarative scenario file (sweeps are expanded into a "
+            "grid; --jobs fans the grid across processes) and exit"
+        ),
+    )
+    parser.add_argument(
+        "--dump-scenario",
+        default=None,
+        metavar="NAME",
+        help="print a registered scenario as JSON (a template for --scenario) and exit",
+    )
+    parser.add_argument(
         "--workloads",
         nargs="+",
         default=list(PAPER_WORKLOADS),
@@ -79,7 +109,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="scaled-down configuration (shorter intervals; CI-friendly)",
     )
     parser.add_argument(
-        "--seed", type=int, default=7, help="root random seed (default 7)"
+        "--seed", type=int, default=None, help="root random seed (default 7)"
     )
     parser.add_argument(
         "--quiet", action="store_true", help="suppress progress messages"
@@ -103,22 +133,94 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _print_descriptions(descriptions: dict) -> None:
+    width = max(len(name) for name in descriptions)
+    for name, description in descriptions.items():
+        print(f"{name:<{width}}  {description}")
+
+
+def _run_scenario_file(
+    path: str,
+    jobs: int = 1,
+    quiet: bool = False,
+    quick: bool = False,
+    seed: Optional[int] = None,
+) -> int:
+    """Run one scenario file (expanding sweeps); prints each result.
+
+    ``quick``/``seed`` override the file's base preset and seed, so the
+    flags mean the same thing with ``--scenario`` as everywhere else.
+    """
+    try:
+        spec = load_scenario(path)
+        if quick:
+            spec.base = "quick"
+        if seed is not None:
+            spec = spec.with_value("system.seed", seed)
+        spec.validate()
+        specs = spec.expand()
+    except (ValueError, OSError) as exc:
+        # ValueError covers ScenarioError and the workload layer's
+        # SpecError — any malformed file exits 2 before simulating
+        print(str(exc), file=sys.stderr)
+        return 2
+    results = run_spec_grid(specs, max_workers=jobs, verbose=not quiet)
+    for name, result in results.items():
+        print(f"=== {name} ===")
+        print(result.summary())
+        if len(result.tenant_stats) > 1:
+            print(result.tenant_table())
+        fingerprint = stats_fingerprint(result)
+        print(
+            f"fingerprint: completed={fingerprint['completed']} "
+            f"events={fingerprint['events_processed']} "
+            f"mean_latency={fingerprint['mean_latency']:.3f}µs"
+        )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.list_workloads:
-        descriptions = workload_descriptions()
-        width = max(len(name) for name in descriptions)
-        for name, description in descriptions.items():
-            print(f"{name:<{width}}  {description}")
+        _print_descriptions(workload_descriptions())
         return 0
-    if args.target is None:
-        parser.error("a target is required (or use --list-workloads)")
+    if args.list_scenarios:
+        _print_descriptions(scenario_descriptions())
+        return 0
     if args.jobs < 1:
         print("--jobs must be >= 1", file=sys.stderr)
         return 2
-    config = quick_config(args.seed) if args.quick else paper_config(args.seed)
+    if (args.scenario is not None or args.dump_scenario is not None) and (
+        args.target is not None
+    ):
+        parser.error(
+            "--scenario/--dump-scenario run instead of a figure target; "
+            "drop one or the other"
+        )
+    if args.dump_scenario is not None:
+        try:
+            print(get_scenario(args.dump_scenario).to_json())
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        return 0
+    if args.scenario is not None:
+        return _run_scenario_file(
+            args.scenario,
+            jobs=args.jobs,
+            quiet=args.quiet,
+            quick=args.quick,
+            seed=args.seed,
+        )
+    if args.target is None:
+        parser.error(
+            "a target is required (or use --list-workloads / --list-scenarios "
+            "/ --scenario / --dump-scenario)"
+        )
+    seed = 7 if args.seed is None else args.seed
+    config = quick_config(seed) if args.quick else paper_config(seed)
     runner = ExperimentRunner(config, verbose=not args.quiet)
     workloads = tuple(args.workloads)
     if args.vms:
@@ -127,6 +229,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except ValueError as exc:
             print(str(exc), file=sys.stderr)
             return 2
+    try:
+        for workload in workloads:
+            resolve_workload_name(workload)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     if args.jobs > 1 and args.target != "ablation":
         # pre-simulate the grid in parallel; figures and the headline
         # report then read the memo cache (ablation builds its own

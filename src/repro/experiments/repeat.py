@@ -9,13 +9,14 @@ benchmark consume this).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
 from repro.config import SystemConfig, paper_config
-from repro.experiments.system import ExperimentSystem, RunResult
+from repro.experiments.system import RunResult
+from repro.scenario.spec import ScenarioSpec
 
 __all__ = ["RepeatedMetric", "RepeatedResult", "run_repeated"]
 
@@ -78,16 +79,15 @@ def run_repeated(
         workload: Registered workload name.
         scheme: ``wb`` / ``sib`` / ``lbica``.
         seeds: Seeds to run (must be non-empty).
-        config: Base configuration; each run gets ``replace(config,
-            seed=s)``.
+        config: Base configuration; the seeds become a declarative
+            ``system.seed`` sweep over it.
     """
     if not seeds:
         raise ValueError("at least one seed required")
     config = config or paper_config()
-    runs: list[RunResult] = []
-    for seed in seeds:
-        cfg = replace(config, seed=int(seed))
-        runs.append(ExperimentSystem.build(workload, scheme, cfg).run())
+    base = ScenarioSpec.from_config(config, workload=workload, scheme=scheme)
+    specs = base.sweep({"system.seed": [int(s) for s in seeds]})
+    runs: list[RunResult] = [spec.run() for spec in specs]
 
     def metric(name: str, values: list[float]) -> RepeatedMetric:
         return RepeatedMetric.from_values(name, values)

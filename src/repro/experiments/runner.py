@@ -1,17 +1,20 @@
-"""Grid runner: execute (workload × scheme) combinations and cache results.
+"""Grid runner: execute scenario specs and cache results.
 
-The figure generators all consume the same nine runs (three workloads ×
-three schemes); :class:`ExperimentRunner` memoizes them so a full
-``fig4 + fig5 + fig6 + fig7 + headline`` regeneration simulates each
-combination exactly once.
+Every run — the figure generators' nine (workload × scheme)
+combinations, ad-hoc grids, declarative sweeps — flows through one path:
+a :class:`~repro.scenario.ScenarioSpec` is built (or given), and its
+``run()`` produces the :class:`RunResult`.  :class:`ExperimentRunner`
+memoizes by the spec's canonical JSON key, so a full ``fig4 + fig5 +
+fig6 + fig7 + headline`` regeneration simulates each combination exactly
+once.
 
-Grids can be fanned out across processes: each (workload, scheme)
-combination is an independent simulation built from the same seeded
-config, so :meth:`ExperimentRunner.run_many` with ``max_workers > 1``
-produces bit-identical results to the serial run — workers share
-nothing, and every combination derives its randomness from the config's
-root seed alone.  Completed results land in the same memo cache the
-serial path uses.
+Grids can be fanned out across processes: each scenario is an
+independent simulation fully determined by its spec, so
+:meth:`ExperimentRunner.run_many` (and :func:`run_spec_grid`) with
+``max_workers > 1`` produce bit-identical results to the serial run —
+workers share nothing, and every spec derives its randomness from its
+config's root seed alone.  Completed results land in the same memo cache
+the serial path uses.
 """
 
 from __future__ import annotations
@@ -20,39 +23,95 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Iterable, Sequence
 
 from repro.config import SystemConfig, paper_config
-from repro.experiments.system import SCHEMES, ExperimentSystem, RunResult
+from repro.experiments.system import SCHEMES, RunResult
+from repro.scenario.spec import ScenarioSpec
 
-__all__ = ["ExperimentRunner", "run_grid", "PAPER_WORKLOADS"]
+__all__ = ["ExperimentRunner", "run_grid", "run_spec_grid", "PAPER_WORKLOADS"]
 
 #: The three evaluation workloads of Section IV.
 PAPER_WORKLOADS = ("tpcc", "mail", "web")
 
 
-def _simulate_combination(
-    workload: str, scheme: str, config: SystemConfig
-) -> RunResult:
-    """Worker entry point: build and run one combination (picklable)."""
-    return ExperimentSystem.build(workload, scheme, config).run()
+def _simulate_spec(spec: ScenarioSpec) -> RunResult:
+    """Worker entry point: run one scenario spec (picklable)."""
+    return spec.run()
 
 
 class ExperimentRunner:
-    """Runs and memoizes experiment combinations."""
+    """Runs and memoizes experiment scenarios.
+
+    The classic ``run(workload, scheme)`` interface is preserved — it
+    wraps the runner's config and the combination into a
+    :class:`ScenarioSpec` and feeds :meth:`run_spec`, which is also the
+    entry point for caller-built specs.
+    """
 
     def __init__(self, config: SystemConfig | None = None, verbose: bool = False) -> None:
         self.config = config or paper_config()
         self.verbose = verbose
-        self._cache: dict[tuple[str, str], RunResult] = {}
+        self._cache: dict[str, RunResult] = {}
+
+    def spec_for(self, workload: str, scheme: str) -> ScenarioSpec:
+        """The scenario spec one (workload, scheme) combination runs as."""
+        return ScenarioSpec.from_config(
+            self.config, workload=workload, scheme=scheme, name=f"{workload}/{scheme}"
+        )
 
     def run(self, workload: str, scheme: str) -> RunResult:
-        """Run one combination (memoized)."""
-        key = (workload, scheme)
+        """Run one combination under the runner's config (memoized)."""
+        return self.run_spec(self.spec_for(workload, scheme))
+
+    def run_spec(self, spec: ScenarioSpec) -> RunResult:
+        """Run one scenario spec (memoized by its canonical JSON key)."""
+        key = spec.key()
         if key not in self._cache:
             if self.verbose:
-                print(f"[runner] simulating {workload}/{scheme} ...", flush=True)
-            self._cache[key] = _simulate_combination(workload, scheme, self.config)
+                print(f"[runner] simulating {spec.name} ...", flush=True)
+            self._cache[key] = _simulate_spec(spec)
             if self.verbose:
                 print(f"[runner]   {self._cache[key].summary()}", flush=True)
         return self._cache[key]
+
+    def run_specs(
+        self, specs: Sequence[ScenarioSpec], max_workers: int = 1
+    ) -> dict[str, RunResult]:
+        """Run a list of specs; returns ``{spec.name: result}``.
+
+        Args:
+            specs: Scenarios to run (sweep specs are not expanded here —
+                call :meth:`ScenarioSpec.expand` first).  Names must be
+                unique; equal specs (same canonical key) are simulated
+                once.
+            max_workers: Process count for the fan-out.  ``1`` (the
+                default) runs serially in this process; larger values
+                simulate missing scenarios concurrently.  Results are
+                identical either way, and memoization is shared:
+                already-cached scenarios are never re-run.
+        """
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise ValueError("spec names must be unique within a grid")
+        missing: dict[str, ScenarioSpec] = {}
+        for spec in specs:
+            key = spec.key()
+            if key not in self._cache and key not in missing:
+                missing[key] = spec
+        if max_workers > 1 and len(missing) > 1:
+            if self.verbose:
+                print(
+                    f"[runner] simulating {len(missing)} scenarios "
+                    f"across {max_workers} workers ...",
+                    flush=True,
+                )
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                results = pool.map(_simulate_spec, list(missing.values()))
+                for key, result in zip(missing, results):
+                    self._cache[key] = result
+                    if self.verbose:
+                        print(f"[runner]   {result.summary()}", flush=True)
+        return {spec.name: self.run_spec(spec) for spec in specs}
 
     def run_many(
         self,
@@ -60,41 +119,18 @@ class ExperimentRunner:
         schemes: Iterable[str] = SCHEMES,
         max_workers: int = 1,
     ) -> dict[tuple[str, str], RunResult]:
-        """Run a grid; returns ``{(workload, scheme): result}``.
+        """Run a (workload × scheme) grid; returns ``{(workload, scheme): result}``.
 
         Args:
             workloads: Workload names (rows of the grid).
             schemes: Scheme names (columns of the grid).
-            max_workers: Process count for the fan-out.  ``1`` (the
-                default) runs serially in this process; larger values
-                simulate missing combinations concurrently.  Results are
-                identical either way — combinations are independent and
-                fully determined by the config's seed — and memoization
-                is shared: already-cached combinations are never re-run.
+            max_workers: Process count for the fan-out (see
+                :meth:`run_specs`).
         """
-        if max_workers < 1:
-            raise ValueError("max_workers must be >= 1")
         keys = [(w, s) for w in workloads for s in schemes]
-        missing = [k for k in dict.fromkeys(keys) if k not in self._cache]
-        if max_workers > 1 and len(missing) > 1:
-            if self.verbose:
-                print(
-                    f"[runner] simulating {len(missing)} combinations "
-                    f"across {max_workers} workers ...",
-                    flush=True,
-                )
-            with ProcessPoolExecutor(max_workers=max_workers) as pool:
-                results = pool.map(
-                    _simulate_combination,
-                    [k[0] for k in missing],
-                    [k[1] for k in missing],
-                    [self.config] * len(missing),
-                )
-                for key, result in zip(missing, results):
-                    self._cache[key] = result
-                    if self.verbose:
-                        print(f"[runner]   {result.summary()}", flush=True)
-        return {key: self.run(*key) for key in keys}
+        specs = {key: self.spec_for(*key) for key in dict.fromkeys(keys)}
+        self.run_specs(list(specs.values()), max_workers=max_workers)
+        return {key: self.run_spec(specs[key]) for key in keys}
 
     def invalidate(self) -> None:
         """Drop all memoized results."""
@@ -108,7 +144,7 @@ def run_grid(
     verbose: bool = False,
     max_workers: int = 1,
 ) -> dict[tuple[str, str], RunResult]:
-    """Convenience wrapper: run a fresh grid and return the results.
+    """Convenience wrapper: run a fresh (workload × scheme) grid.
 
     ``max_workers > 1`` fans the combinations out across processes (see
     :meth:`ExperimentRunner.run_many`); serial and parallel runs of the
@@ -116,4 +152,25 @@ def run_grid(
     """
     return ExperimentRunner(config, verbose=verbose).run_many(
         workloads, schemes, max_workers=max_workers
+    )
+
+
+def run_spec_grid(
+    specs: Sequence[ScenarioSpec],
+    max_workers: int = 1,
+    verbose: bool = False,
+) -> dict[str, RunResult]:
+    """Run a scenario-spec grid (e.g. a ``sweep()`` expansion).
+
+    Args:
+        specs: Expanded scenario specs (names must be unique).
+        max_workers: Process count; ``>1`` fans out via
+            ``ProcessPoolExecutor`` with bit-identical results.
+        verbose: Print per-scenario progress.
+
+    Returns:
+        ``{spec.name: result}`` in the given order.
+    """
+    return ExperimentRunner(verbose=verbose).run_specs(
+        specs, max_workers=max_workers
     )

@@ -55,6 +55,7 @@ __all__ = [
     "SCHEMES",
     "WORKLOADS",
     "register_consolidation",
+    "resolve_workload_name",
     "workload_descriptions",
 ]
 
@@ -65,35 +66,50 @@ SCHEMES = ("wb", "sib", "lbica")
 def _random_read(interval_us, cache_blocks, rate_scale, max_outstanding):
     """Group 1 synthetic: uniform random reads, mostly hits, misses promoted."""
     return random_read_workload(
-        interval_us, cache_blocks=cache_blocks, max_outstanding=max_outstanding
+        interval_us,
+        cache_blocks=cache_blocks,
+        rate_scale=rate_scale,
+        max_outstanding=max_outstanding,
     )
 
 
 def _random_write(interval_us, cache_blocks, rate_scale, max_outstanding):
     """Group 3 synthetic: random writes over a footprint far beyond the cache."""
     return random_write_workload(
-        interval_us, cache_blocks=cache_blocks, max_outstanding=max_outstanding
+        interval_us,
+        cache_blocks=cache_blocks,
+        rate_scale=rate_scale,
+        max_outstanding=max_outstanding,
     )
 
 
 def _seq_read(interval_us, cache_blocks, rate_scale, max_outstanding):
     """Group 4 synthetic: a cold sequential scan — every read misses and promotes."""
     return sequential_read_workload(
-        interval_us, cache_blocks=cache_blocks, max_outstanding=max_outstanding
+        interval_us,
+        cache_blocks=cache_blocks,
+        rate_scale=rate_scale,
+        max_outstanding=max_outstanding,
     )
 
 
 def _seq_write(interval_us, cache_blocks, rate_scale, max_outstanding):
     """Group 3 synthetic: a streaming sequential write over a huge span."""
     return sequential_write_workload(
-        interval_us, cache_blocks=cache_blocks, max_outstanding=max_outstanding
+        interval_us,
+        cache_blocks=cache_blocks,
+        rate_scale=rate_scale,
+        max_outstanding=max_outstanding,
     )
 
 
 def _mixed_rw(interval_us, cache_blocks, rate_scale, max_outstanding):
     """Group 2 synthetic: reads on a hot set mixed with medium-footprint writes."""
     return mixed_read_write_workload(
-        interval_us, cache_blocks=cache_blocks, max_outstanding=max_outstanding
+        interval_us,
+        cache_blocks=cache_blocks,
+        rate_scale=rate_scale,
+        max_outstanding=max_outstanding,
     )
 
 
@@ -183,6 +199,27 @@ def register_consolidation(names: Sequence[str]) -> str:
     WORKLOADS[scenario] = factory
     _MULTI_TENANT_NAMES.add(scenario)
     return scenario
+
+
+def resolve_workload_name(name: str) -> str:
+    """Validate a workload name against the registry; returns it.
+
+    The single place name resolution lives: plain names must be
+    registered, and self-describing ``"vms:a+b"`` consolidations are
+    (re-)registered from their encoded component names — which also
+    validates the components.  The CLI pre-flight, scenario-spec
+    validation, and :meth:`ExperimentSystem.build` all call this.
+
+    Raises:
+        ValueError: On an unknown name or invalid consolidation.
+    """
+    if name.startswith("vms:"):
+        register_consolidation(name[len("vms:"):].split("+"))
+    elif name not in WORKLOADS:
+        raise ValueError(
+            f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}"
+        )
+    return name
 
 
 @dataclass
@@ -362,14 +399,7 @@ class ExperimentSystem:
         names — a spawned worker process can therefore build ad-hoc
         scenarios its parent registered.
         """
-        factory = WORKLOADS.get(workload_name)
-        if factory is None and workload_name.startswith("vms:"):
-            register_consolidation(workload_name[len("vms:"):].split("+"))
-            factory = WORKLOADS.get(workload_name)
-        if factory is None:
-            raise ValueError(
-                f"unknown workload {workload_name!r}; choose from {sorted(WORKLOADS)}"
-            )
+        factory = WORKLOADS[resolve_workload_name(workload_name)]
         workload = factory(
             config.interval_us,
             cache_blocks=config.cache_blocks,
@@ -377,6 +407,17 @@ class ExperimentSystem:
             max_outstanding=config.max_outstanding,
         )
         return cls(workload, scheme, config)
+
+    @classmethod
+    def from_spec(cls, spec, config: SystemConfig | None = None) -> "ExperimentSystem":
+        """Build from a :class:`~repro.scenario.ScenarioSpec`.
+
+        The scenario layer owns the data-to-system translation
+        (registered vs inline workloads, fixed policies, config
+        overrides); this delegates to :meth:`ScenarioSpec.build` so
+        either layer can be the entry point.
+        """
+        return spec.build(config)
 
     # ------------------------------------------------------------------
     def _on_complete(self, request: Request) -> None:
@@ -410,8 +451,15 @@ class ExperimentSystem:
             count += 1
         return count
 
-    def run(self) -> RunResult:
-        """Run the workload to completion and collect results."""
+    def run(self, until_us: float | None = None) -> RunResult:
+        """Run the workload to completion and collect results.
+
+        Args:
+            until_us: Optional horizon override (µs).  The default runs
+                the workload script to its scripted end plus the
+                configured drain; scenario smoke runs pass a short
+                horizon to truncate.
+        """
         self.warm_cache()
         self.monitor.start()
         self.flusher.start()
@@ -419,9 +467,11 @@ class ExperimentSystem:
         self.workload.bind(
             self.sim, self.controller.submit, self.rngs.stream("workload.arrivals")
         )
-        horizon = self.workload.duration_us + (
-            self.config.drain_intervals * self.config.interval_us
-        )
+        horizon = until_us
+        if horizon is None:
+            horizon = self.workload.duration_us + (
+                self.config.drain_intervals * self.config.interval_us
+            )
         self.sim.run(until=horizon)
 
         lbica_decisions: list[LbicaDecision] = []

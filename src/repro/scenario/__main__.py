@@ -1,0 +1,7 @@
+"""``python -m repro.scenario`` — see :mod:`repro.scenario.smoke`."""
+
+import sys
+
+from repro.scenario.smoke import main
+
+sys.exit(main())

@@ -1,0 +1,45 @@
+"""Deterministic stats fingerprints of experiment runs.
+
+A fingerprint is a JSON-stable digest of a :class:`RunResult`'s
+statistics with no timing or memory numbers in it: two runs of the same
+code, seed, and config produce the exact same fingerprint (floats
+round-trip exactly through JSON via ``repr``).  The benchmark suite's
+golden files (``benchmarks/golden/``), the CI scenario smoke job, and
+the spec-equivalence tests all pin behavior with these digests — an
+optimization or refactor must keep them bit-identical.
+"""
+
+from __future__ import annotations
+
+__all__ = ["stats_fingerprint"]
+
+
+def stats_fingerprint(result) -> dict:
+    """A deterministic, JSON-stable digest of a run's statistics.
+
+    Args:
+        result: A :class:`~repro.experiments.system.RunResult`.
+    """
+    return {
+        "workload": result.workload,
+        "scheme": result.scheme,
+        "completed": result.completed,
+        "events_processed": result.events_processed,
+        "mean_latency": result.mean_latency,
+        "latency_sum": sum(result.latencies),
+        "latency_max": max(result.latencies, default=0.0),
+        "read_latency_sum": sum(result.read_latencies),
+        "write_latency_sum": sum(result.write_latencies),
+        "bypassed_requests": result.bypassed_requests,
+        "cache_stats": result.cache_stats,
+        "store_stats": result.store_stats,
+        "ssd_queue_stats": result.ssd_queue_stats,
+        "hdd_queue_stats": result.hdd_queue_stats,
+        "workload_stats": result.workload_stats,
+        "n_samples": len(result.samples),
+        "cache_load_sum": sum(result.cache_load_series()),
+        "disk_load_sum": sum(result.disk_load_series()),
+        "n_policy_log": len(result.policy_log),
+        "n_lbica_decisions": len(result.lbica_decisions),
+        "tenant_stats": {str(t): s for t, s in result.tenant_stats.items()},
+    }

@@ -1,0 +1,125 @@
+"""The scenario registry: named, ready-to-run :class:`ScenarioSpec` library.
+
+Registered scenarios are what ``--list-scenarios`` prints, what
+``--dump-scenario NAME`` serializes (the template for a new JSON file),
+and what the benchmark suite's canonical scenarios are defined as.  New
+scenarios normally need **zero code** — drop a JSON file next to
+``examples/scenarios/`` instead — but anything reusable enough to name
+can be registered here (or by downstream code via
+:func:`register_scenario`).
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.scenario.spec import ScenarioSpec
+
+__all__ = [
+    "SCENARIOS",
+    "register_scenario",
+    "get_scenario",
+    "scenario_descriptions",
+]
+
+#: Registered scenarios by name.  Treat as read-only; use
+#: :func:`register_scenario` to add entries.
+SCENARIOS: dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec, overwrite: bool = False) -> str:
+    """Register a validated spec under its own name.
+
+    Args:
+        spec: The scenario to register (validated first).
+        overwrite: Allow replacing an existing entry.
+
+    Returns:
+        The registered name.
+    """
+    spec.validate()
+    if spec.name in SCENARIOS and not overwrite:
+        raise ValueError(f"scenario {spec.name!r} already registered")
+    SCENARIOS[spec.name] = copy.deepcopy(spec)
+    return spec.name
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """A private copy of a registered scenario (mutate freely)."""
+    try:
+        return copy.deepcopy(SCENARIOS[name])
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
+        ) from None
+
+
+def scenario_descriptions() -> dict[str, str]:
+    """Every registered scenario with its one-line description, sorted."""
+    return {
+        name: (spec.description or "(no description)")
+        for name, spec in sorted(SCENARIOS.items())
+    }
+
+
+# ----------------------------------------------------------------------
+# Built-in scenarios
+# ----------------------------------------------------------------------
+def _register_builtins() -> None:
+    builtins = [
+        ScenarioSpec(
+            name="fig4_single_vm",
+            workload="tpcc",
+            scheme="lbica",
+            description=(
+                "The canonical single-VM run: TPC-C under LBICA (the Fig. 4 "
+                "configuration speedups are quoted against)."
+            ),
+        ),
+        ScenarioSpec(
+            name="consolidated3",
+            workload="consolidated3",
+            scheme="lbica",
+            description=(
+                "Three VMs (TPC-C + mail + web) contending for one shared "
+                "cache under LBICA."
+            ),
+        ),
+        ScenarioSpec(
+            name="bootstorm_neighbors",
+            workload="bootstorm_neighbors",
+            scheme="lbica",
+            description=(
+                "A VM boot storm landing beside a steady web server, under "
+                "LBICA."
+            ),
+        ),
+        ScenarioSpec(
+            name="paper_grid",
+            workload="tpcc",
+            scheme="lbica",
+            description=(
+                "The paper's full 3x3 evaluation grid (workload x scheme) "
+                "as one sweep spec."
+            ),
+            sweep_axes={
+                "workload": ["tpcc", "mail", "web"],
+                "scheme": ["wb", "sib", "lbica"],
+            },
+        ),
+        ScenarioSpec(
+            name="mail_fixed_ro",
+            workload="mail",
+            scheme="wb",
+            fixed_policy="RO",
+            description=(
+                "Mail server with the cache pinned read-only for the whole "
+                "run (the ablation study's fixed-policy shape)."
+            ),
+        ),
+    ]
+    for spec in builtins:
+        register_scenario(spec)
+
+
+_register_builtins()

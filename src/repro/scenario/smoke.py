@@ -1,0 +1,132 @@
+"""Scenario smoke runner: validate and short-run every scenario file.
+
+CI's ``scenario-smoke`` job points this at ``examples/scenarios/`` — it
+loads every ``*.json`` file, validates it (unknown keys and malformed
+values fail the job), expands sweeps, runs each expanded scenario for a
+short horizon, and writes every run's deterministic stats fingerprint to
+one JSON document (uploaded as a build artifact, so a behavior change in
+the example library is visible as a fingerprint diff between runs).
+
+Usage::
+
+    PYTHONPATH=src python -m repro.scenario examples/scenarios \\
+        --horizon 3 --out scenario_fingerprints.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.scenario.fingerprint import stats_fingerprint
+from repro.scenario.spec import ScenarioSpec, load_scenario
+
+__all__ = ["smoke_run_spec", "run_smoke", "main"]
+
+
+def smoke_run_spec(spec: ScenarioSpec, horizon_intervals: int) -> dict:
+    """Run one (non-sweep) spec truncated to the smoke horizon.
+
+    The spec's own horizon wins when it is already shorter.  Returns the
+    run's stats fingerprint.
+    """
+    horizon = horizon_intervals
+    if spec.horizon_intervals is not None:
+        horizon = min(horizon, spec.horizon_intervals)
+    truncated = dataclasses.replace(spec, horizon_intervals=horizon)
+    return stats_fingerprint(truncated.run())
+
+
+def run_smoke(
+    paths: Sequence[Path], horizon_intervals: int = 3, verbose: bool = True
+) -> dict:
+    """Validate + short-run every scenario file; returns the report doc.
+
+    The document maps ``file -> scenario name -> fingerprint``.  Files
+    that fail validation or crash mid-run are recorded under ``errors``
+    (``file -> message``) instead of raising, so one broken example does
+    not hide problems in the rest.
+    """
+    doc: dict = {"horizon_intervals": horizon_intervals, "files": {}, "errors": {}}
+    for path in paths:
+        label = str(path)
+        try:
+            spec = load_scenario(path)
+            fingerprints = {}
+            for expanded in spec.expand():
+                if verbose:
+                    print(f"[smoke] {path.name}: {expanded.name} ...", flush=True)
+                fingerprints[expanded.name] = smoke_run_spec(
+                    expanded, horizon_intervals
+                )
+            doc["files"][label] = fingerprints
+        except Exception as exc:  # record-and-continue: one broken file
+            # (bad JSON, missing path, mid-run crash) must not hide the
+            # rest of the library or the fingerprint report
+            doc["errors"][label] = f"{type(exc).__name__}: {exc}"
+            if verbose:
+                print(f"[smoke] {path.name}: FAILED — {exc}", file=sys.stderr)
+    return doc
+
+
+def _collect(target: Path) -> list[Path]:
+    if target.is_dir():
+        return sorted(target.glob("*.json"))
+    return [target]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code (1 on any failure)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenario",
+        description=(
+            "Validate and smoke-run scenario JSON files (a directory of "
+            "them, or individual files)."
+        ),
+    )
+    parser.add_argument(
+        "targets", nargs="+", help="scenario .json files and/or directories"
+    )
+    parser.add_argument(
+        "--horizon",
+        type=int,
+        default=3,
+        help="monitoring intervals to simulate per scenario (default 3)",
+    )
+    parser.add_argument(
+        "--out", default=None, help="write the fingerprint report to this file"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress messages"
+    )
+    args = parser.parse_args(argv)
+    if args.horizon < 1:
+        print("--horizon must be >= 1", file=sys.stderr)
+        return 2
+
+    paths: list[Path] = []
+    for target in args.targets:
+        paths.extend(_collect(Path(target)))
+    if not paths:
+        print("no scenario files found", file=sys.stderr)
+        return 2
+
+    doc = run_smoke(paths, horizon_intervals=args.horizon, verbose=not args.quiet)
+    if args.out:
+        Path(args.out).write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+        if not args.quiet:
+            print(f"[smoke] wrote {args.out}")
+    if doc["errors"]:
+        print(
+            f"[smoke] {len(doc['errors'])} of {len(paths)} scenario file(s) failed",
+            file=sys.stderr,
+        )
+        return 1
+    if not args.quiet:
+        n_runs = sum(len(v) for v in doc["files"].values())
+        print(f"[smoke] OK: {len(paths)} file(s), {n_runs} scenario run(s)")
+    return 0

@@ -27,6 +27,25 @@ results.  A spec is a dict of the form::
 Pattern kinds: ``uniform``, ``zipf``, ``hotcold``, ``sequential``,
 ``mix`` (with ``components: [{"weight": ..., "pattern": {...}}]``).
 
+Multi-VM consolidations are data too: a spec with a ``tenants`` section
+instead of ``phases`` builds a
+:class:`~repro.workloads.multi_tenant.MultiTenantWorkload` — fair-share
+footprint sizing, disjoint LBA striding, per-VM RNG streams, and phase
+``shift`` offsets all included::
+
+    {
+      "name": "consolidated3",
+      "tenants": [
+        {"workload": "tpcc", "rate_scale": 0.55},
+        {"workload": "mail", "rate_scale": 0.75, "offset_intervals": 5},
+        {"workload": {... inline phases spec ...}, "label": "custom"}
+      ]
+    }
+
+Each tenant's ``workload`` is either a registered workload name or a
+nested inline spec of this same schema (``phases`` form only — tenants
+cannot nest).
+
 :func:`workload_from_spec` builds a live
 :class:`~repro.workloads.base.Workload`; :func:`load_workload_spec`
 parses a JSON file first.  Unknown keys raise — specs are validated, not
@@ -37,7 +56,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Mapping
+from typing import Any, Callable, Mapping, Optional
 
 from repro.workloads.access_patterns import (
     AddressPattern,
@@ -121,7 +140,9 @@ def pattern_from_spec(spec: Mapping[str, Any]) -> AddressPattern:
     raise SpecError(f"unknown pattern kind {kind!r}")
 
 
-def _phase_from_spec(spec: Mapping[str, Any], index: int) -> PhaseSpec:
+def _phase_from_spec(
+    spec: Mapping[str, Any], index: int, rate_scale: float = 1.0
+) -> PhaseSpec:
     context = f"phase[{index}]"
     _check_keys(
         spec,
@@ -145,7 +166,7 @@ def _phase_from_spec(spec: Mapping[str, Any], index: int) -> PhaseSpec:
     phase = PhaseSpec(
         label=str(spec.get("label", f"phase{index}")),
         n_intervals=int(_require(spec, "n_intervals", context)),
-        rate_iops=float(_require(spec, "rate_iops", context)),
+        rate_iops=float(_require(spec, "rate_iops", context)) * rate_scale,
         write_frac=float(spec.get("write_frac", 0.0)),
         pattern_read=pattern_from_spec(_require(spec, "read_pattern", context)),
         pattern_write=(
@@ -174,40 +195,165 @@ def _warm_from_spec(entries: list, context: str) -> tuple[list[int], list[int]]:
     return clean, dirty
 
 
+def _resolve_tenant_factory(workload: Any, context: str) -> Callable:
+    """A registry-signature factory for one tenant's ``workload`` entry."""
+    if isinstance(workload, str):
+        # Imported lazily: the experiment harness sits above the workload
+        # layer, and only tenant specs referencing registered names need
+        # its registry.
+        from repro.experiments.system import _MULTI_TENANT_NAMES, WORKLOADS
+
+        factory = WORKLOADS.get(workload)
+        if factory is None:
+            raise SpecError(
+                f"{context}: unknown workload {workload!r}; "
+                f"choose from {sorted(WORKLOADS)}"
+            )
+        if workload in _MULTI_TENANT_NAMES:
+            raise SpecError(
+                f"{context}: workload {workload!r} is already multi-tenant; "
+                "tenants cannot nest"
+            )
+        return factory
+    if isinstance(workload, Mapping):
+        if "tenants" in workload:
+            raise SpecError(f"{context}: tenants cannot nest tenant specs")
+
+        def factory(
+            interval_us: float,
+            cache_blocks: int = 4096,
+            rate_scale: float = 1.0,
+            max_outstanding: int = 256,
+        ) -> Workload:
+            return workload_from_spec(
+                workload,
+                interval_us,
+                cache_blocks=cache_blocks,
+                rate_scale=rate_scale,
+                max_outstanding=max_outstanding,
+            )
+
+        return factory
+    raise SpecError(
+        f"{context}: workload must be a registered name or an inline spec dict"
+    )
+
+
+def _multi_tenant_from_spec(
+    spec: Mapping[str, Any],
+    interval_us: float,
+    cache_blocks: int,
+    rate_scale: float,
+    max_outstanding: Optional[int],
+):
+    """Build a :class:`MultiTenantWorkload` from a ``tenants`` spec."""
+    from repro.workloads.multi_tenant import MultiTenantWorkload, TenantSpec
+
+    _check_keys(
+        spec,
+        {"name", "tenants", "lba_stride_blocks", "max_outstanding"},
+        "tenant workload spec",
+    )
+    entries = _require(spec, "tenants", "tenant workload spec")
+    if not isinstance(entries, list) or not entries:
+        raise SpecError("tenant workload spec: tenants must be a non-empty list")
+    tenant_specs = []
+    for i, entry in enumerate(entries):
+        context = f"tenants[{i}]"
+        if not isinstance(entry, Mapping):
+            raise SpecError(f"{context}: expected a mapping")
+        _check_keys(
+            entry, {"workload", "rate_scale", "offset_intervals", "label"}, context
+        )
+        tenant_specs.append(
+            TenantSpec(
+                factory=_resolve_tenant_factory(
+                    _require(entry, "workload", context), context
+                ),
+                rate_scale=float(entry.get("rate_scale", 1.0)),
+                offset_intervals=int(entry.get("offset_intervals", 0)),
+                label=entry.get("label"),
+            )
+        )
+    resolved_outstanding = int(
+        spec.get(
+            "max_outstanding", 256 if max_outstanding is None else max_outstanding
+        )
+    )
+    stride = spec.get("lba_stride_blocks")
+    return MultiTenantWorkload.compose(
+        str(spec.get("name", "spec_scenario")),
+        tenant_specs,
+        interval_us,
+        cache_blocks=cache_blocks,
+        rate_scale=rate_scale,
+        max_outstanding=resolved_outstanding,
+        lba_stride_blocks=None if stride is None else int(stride),
+    )
+
+
 def workload_from_spec(
-    spec: Mapping[str, Any], interval_us: float
+    spec: Mapping[str, Any],
+    interval_us: float,
+    *,
+    cache_blocks: int = 4096,
+    rate_scale: float = 1.0,
+    max_outstanding: Optional[int] = None,
 ) -> Workload:
     """Build a :class:`Workload` from a spec dict.
 
     Args:
-        spec: The specification (see module docstring).
+        spec: The specification (see module docstring) — ``phases`` form
+            for a single-tenant workload, ``tenants`` form for a
+            multi-VM consolidation.
         interval_us: Monitoring interval the phases are expressed in.
+        cache_blocks: Shared cache capacity tenant fair-shares are sized
+            against (``tenants`` form only).
+        rate_scale: Multiplier applied to every phase's arrival rate (and
+            composed with per-tenant rate scales) — the run-level knob
+            :class:`~repro.config.SystemConfig` carries.
+        max_outstanding: Default application concurrency bound when the
+            spec does not set its own ``max_outstanding``.
 
     Raises:
         SpecError: On missing/unknown keys or invalid values.
     """
+    if isinstance(spec, Mapping) and "tenants" in spec:
+        return _multi_tenant_from_spec(
+            spec, interval_us, cache_blocks, rate_scale, max_outstanding
+        )
     _check_keys(
         spec, {"name", "max_outstanding", "warm", "phases"}, "workload spec"
     )
     phases_spec = _require(spec, "phases", "workload spec")
     if not isinstance(phases_spec, list) or not phases_spec:
         raise SpecError("workload spec: phases must be a non-empty list")
-    phases = [_phase_from_spec(p, i) for i, p in enumerate(phases_spec)]
+    phases = [
+        _phase_from_spec(p, i, rate_scale) for i, p in enumerate(phases_spec)
+    ]
     warm_clean, warm_dirty = _warm_from_spec(spec.get("warm", []), "warm")
     return Workload(
         str(spec.get("name", "spec_workload")),
         phases,
         interval_us,
-        max_outstanding=int(spec.get("max_outstanding", 256)),
+        max_outstanding=int(
+            spec.get(
+                "max_outstanding", 256 if max_outstanding is None else max_outstanding
+            )
+        ),
         warm_blocks=warm_clean,
         warm_dirty_blocks=warm_dirty,
     )
 
 
-def load_workload_spec(path: str | Path, interval_us: float) -> Workload:
-    """Parse a JSON spec file and build the workload."""
+def load_workload_spec(path: str | Path, interval_us: float, **kw: Any) -> Workload:
+    """Parse a JSON spec file and build the workload.
+
+    Keyword arguments are forwarded to :func:`workload_from_spec`
+    (``cache_blocks`` / ``rate_scale`` / ``max_outstanding``).
+    """
     try:
         spec = json.loads(Path(path).read_text(encoding="utf-8"))
     except json.JSONDecodeError as exc:
         raise SpecError(f"{path}: invalid JSON ({exc})") from None
-    return workload_from_spec(spec, interval_us)
+    return workload_from_spec(spec, interval_us, **kw)

@@ -34,6 +34,7 @@ def random_read_workload(
     n_intervals: int = 20,
     cache_blocks: int = 4096,
     rate_iops: float = 5000.0,
+    rate_scale: float = 1.0,
     hot_prob: float = 0.97,
     max_outstanding: int = 256,
 ) -> Workload:
@@ -48,7 +49,7 @@ def random_read_workload(
     phase = PhaseSpec(
         label="random-read",
         n_intervals=n_intervals,
-        rate_iops=rate_iops,
+        rate_iops=rate_iops * rate_scale,
         write_frac=0.0,
         pattern_read=reads,
         burst=True,
@@ -67,6 +68,7 @@ def random_write_workload(
     n_intervals: int = 20,
     cache_blocks: int = 4096,
     rate_iops: float = 1100.0,
+    rate_scale: float = 1.0,
     max_outstanding: int = 256,
 ) -> Workload:
     """Group 3 (random write): writes over a footprint ≫ cache.
@@ -80,7 +82,7 @@ def random_write_workload(
     phase = PhaseSpec(
         label="random-write",
         n_intervals=n_intervals,
-        rate_iops=rate_iops,
+        rate_iops=rate_iops * rate_scale,
         write_frac=0.97,
         pattern_read=writes,
         pattern_write=writes,
@@ -94,6 +96,7 @@ def sequential_read_workload(
     n_intervals: int = 20,
     cache_blocks: int = 4096,
     rate_iops: float = 1200.0,
+    rate_scale: float = 1.0,
     size_blocks: int = 8,
     max_outstanding: int = 256,
 ) -> Workload:
@@ -103,7 +106,7 @@ def sequential_read_workload(
     phase = PhaseSpec(
         label="seq-read",
         n_intervals=n_intervals,
-        rate_iops=rate_iops,
+        rate_iops=rate_iops * rate_scale,
         write_frac=0.0,
         pattern_read=reads,
         size_blocks=size_blocks,
@@ -117,6 +120,7 @@ def sequential_write_workload(
     n_intervals: int = 20,
     cache_blocks: int = 4096,
     rate_iops: float = 700.0,
+    rate_scale: float = 1.0,
     size_blocks: int = 8,
     max_outstanding: int = 256,
 ) -> Workload:
@@ -126,7 +130,7 @@ def sequential_write_workload(
     phase = PhaseSpec(
         label="seq-write",
         n_intervals=n_intervals,
-        rate_iops=rate_iops,
+        rate_iops=rate_iops * rate_scale,
         write_frac=1.0,
         pattern_read=writes,
         pattern_write=writes,
@@ -141,6 +145,7 @@ def mixed_read_write_workload(
     n_intervals: int = 20,
     cache_blocks: int = 4096,
     rate_iops: float = 850.0,
+    rate_scale: float = 1.0,
     write_frac: float = 0.70,
     max_outstanding: int = 256,
 ) -> Workload:
@@ -156,7 +161,7 @@ def mixed_read_write_workload(
     phase = PhaseSpec(
         label="mixed-rw",
         n_intervals=n_intervals,
-        rate_iops=rate_iops,
+        rate_iops=rate_iops * rate_scale,
         write_frac=write_frac,
         pattern_read=reads,
         pattern_write=writes,

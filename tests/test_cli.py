@@ -21,7 +21,7 @@ class TestParser:
         assert args.workloads == ["tpcc", "mail", "web"]
         assert args.out is None
         assert not args.quick
-        assert args.seed == 7
+        assert args.seed is None  # resolved to 7 in main()
 
     def test_options(self):
         args = build_parser().parse_args(
@@ -73,3 +73,154 @@ class TestMain:
         out = capsys.readouterr().out
         assert code == 0
         assert "headline claims" in out
+
+
+class TestScenarioFlags:
+    def test_list_scenarios(self, capsys):
+        from repro.scenario import SCENARIOS
+
+        code = main(["--list-scenarios"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in SCENARIOS:
+            assert name in out
+
+    def test_dump_scenario_round_trips(self, capsys):
+        import json
+
+        from repro.scenario import ScenarioSpec, get_scenario
+
+        code = main(["--dump-scenario", "consolidated3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert ScenarioSpec.from_dict(json.loads(out)) == get_scenario(
+            "consolidated3"
+        )
+
+    def test_dump_unknown_scenario_fails(self, capsys):
+        code = main(["--dump-scenario", "no_such"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "unknown scenario" in err
+
+    def test_scenario_file_runs(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "s.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "name": "cli_smoke",
+                    "workload": "web",
+                    "scheme": "wb",
+                    "base": "quick",
+                    "horizon_intervals": 3,
+                }
+            )
+        )
+        code = main(["--scenario", str(path), "--quiet"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "=== cli_smoke ===" in out
+        assert "fingerprint:" in out
+
+    def test_scenario_multi_tenant_prints_tenant_table(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "mt.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "name": "cli_mt",
+                    "base": "quick",
+                    "horizon_intervals": 8,
+                    "workload": {
+                        "name": "duo",
+                        "tenants": [
+                            {"workload": "web"},
+                            {"workload": "tpcc", "rate_scale": 0.5},
+                        ],
+                    },
+                }
+            )
+        )
+        code = main(["--scenario", str(path), "--quiet"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "hit ratio" in out  # tenant table header
+
+    def test_scenario_bad_file_fails(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"name": "x", "bogus": 1}')
+        code = main(["--scenario", str(path), "--quiet"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "unknown keys" in err
+
+    def test_scenario_missing_file_fails(self, capsys, tmp_path):
+        code = main(["--scenario", str(tmp_path / "nope.json"), "--quiet"])
+        assert code == 2
+
+    def test_unknown_workload_exits_2(self, capsys):
+        code = main(["fig4", "--quick", "--workloads", "nope"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "unknown workload" in err
+
+    def test_vms_style_workload_name_accepted(self, capsys):
+        code = main(["fig7", "--quick", "--quiet", "--workloads", "vms:web+web"])
+        assert code == 0
+
+    def test_vms_style_workload_with_bad_component_exits_2(self, capsys):
+        code = main(["fig4", "--quick", "--workloads", "vms:nope+web"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "nope" in err
+
+    def test_scenario_duplicate_sweep_names_exit_2(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "dup.json"
+        path.write_text(json.dumps({
+            "name": "dup", "workload": "web", "base": "quick",
+            "sweep": {"system.seed": [1, 1]},
+        }))
+        code = main(["--scenario", str(path), "--quiet"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "duplicate" in err
+
+    def test_scenario_malformed_inline_workload_exits_2(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "badwl.json"
+        path.write_text(json.dumps({
+            "name": "x", "base": "quick",
+            "workload": {"name": "w", "phases": [{"label": "p"}]},
+        }))
+        code = main(["--scenario", str(path), "--quiet"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "badwl.json" in err
+
+    def test_scenario_honors_quick_and_seed_flags(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "paper_base.json"
+        path.write_text(json.dumps({
+            "name": "flags", "workload": "web", "scheme": "wb",
+            "horizon_intervals": 3,
+        }))  # base defaults to "paper"
+        code = main(["--scenario", str(path), "--quick", "--seed", "11",
+                     "--quiet"])
+        out = capsys.readouterr().out
+        assert code == 0
+        # quick base + seed 11 produce a different run than paper/seed-7;
+        # cheap sanity: the run completed at quick scale in 3 intervals
+        assert "=== flags ===" in out
+
+    def test_scenario_combined_with_target_is_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["fig4", "--scenario", str(tmp_path / "x.json")])
+        with pytest.raises(SystemExit):
+            main(["fig4", "--dump-scenario", "consolidated3"])

@@ -1,0 +1,389 @@
+"""Tests for the declarative scenario layer (``repro.scenario``).
+
+The load-bearing guarantee: a scenario expressed as data — including a
+JSON round-trip — runs **bit-identically** to its code-built equivalent.
+The committed golden file under ``benchmarks/golden/`` *is* the
+code-built fingerprint of every canonical suite scenario, so each
+canonical scenario gets one spec-built-equals-golden test.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.config import quick_config
+from repro.experiments.runner import run_spec_grid
+from repro.experiments.system import ExperimentSystem
+from repro.scenario import (
+    ScenarioError,
+    ScenarioSpec,
+    get_scenario,
+    load_scenario,
+    register_scenario,
+    scenario_descriptions,
+    stats_fingerprint,
+)
+from repro.scenario.smoke import run_smoke
+
+_REPO = Path(__file__).resolve().parent.parent
+GOLDEN = json.loads(
+    (_REPO / "benchmarks" / "golden" / "suite_quick.json").read_text()
+)
+EXAMPLES = _REPO / "examples" / "scenarios"
+
+
+def _normalized(stats: dict) -> dict:
+    """Round-trip through JSON so floats/keys compare like the golden."""
+    return json.loads(json.dumps(stats, sort_keys=True))
+
+
+def _quick_spec(payload: dict) -> ScenarioSpec:
+    """A spec from dict form, forced through a JSON round-trip first."""
+    return ScenarioSpec.from_dict(json.loads(json.dumps(payload)))
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        spec = ScenarioSpec(
+            name="rt",
+            workload="mail",
+            scheme="sib",
+            base="quick",
+            system={"seed": 11, "lbica": {"margin": 2.0}},
+            fixed_policy=None,
+            horizon_intervals=5,
+            sweep_axes={"scheme": ["wb", "sib"]},
+        )
+        again = ScenarioSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert again.to_dict() == spec.to_dict()
+
+    def test_json_round_trip_via_file(self, tmp_path):
+        spec = get_scenario("consolidated3")
+        path = tmp_path / "scenario.json"
+        path.write_text(spec.to_json())
+        assert load_scenario(path) == spec
+
+    def test_sweep_key_maps_to_sweep_axes(self):
+        spec = _quick_spec({"name": "s", "sweep": {"scheme": ["wb", "lbica"]}})
+        assert spec.sweep_axes == {"scheme": ["wb", "lbica"]}
+        assert spec.to_dict()["sweep"] == {"scheme": ["wb", "lbica"]}
+
+    def test_to_dict_is_deep_copied(self):
+        spec = _quick_spec({"name": "s", "system": {"seed": 1}})
+        spec.to_dict()["system"]["seed"] = 99
+        assert spec.system["seed"] == 1
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"name": "x", "bogus": 1},
+            {"name": "x", "scheme": "nope"},
+            {"name": "x", "base": "mega"},
+            {"name": "x", "fixed_policy": "XX"},
+            {"name": "x", "horizon_intervals": 0},
+            {"name": "x", "horizon_intervals": -3},
+            {"name": "x", "system": {"cache_bloks": 4096}},
+            {"name": "x", "system": {"lbica": {"margn": 2}}},
+            {"name": "x", "system": {"ssd": {"read_us": 90, "bogus": 1}}},
+            {"name": "x", "workload": "no_such_workload"},
+            {"name": "x", "workload": 42},
+            {"name": "x", "sweep": {"name": ["a", "b"]}},
+            {"name": "x", "sweep": {"scheme.sub": ["wb"]}},
+            {"name": "x", "sweep": {"scheme": []}},
+            {"name": "x", "sweep": {"scheme": "wb"}},
+            {"bogus_only": True},
+        ],
+    )
+    def test_rejects(self, payload):
+        with pytest.raises(ScenarioError):
+            ScenarioSpec.from_dict(payload)
+
+    def test_rejects_invalid_system_values(self):
+        with pytest.raises(ValueError):
+            _quick_spec({"name": "x", "system": {"cache_blocks": -1}}).validate()
+
+    def test_rejects_malformed_inline_workload(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec.from_dict(
+                {"name": "x", "workload": {"name": "w", "phases": []}}
+            )
+
+    def test_vms_consolidation_names_accepted(self):
+        spec = _quick_spec({"name": "x", "workload": "vms:web+web", "base": "quick"})
+        assert spec.workload == "vms:web+web"
+
+
+class TestConfig:
+    def test_from_config_round_trips_exactly(self):
+        config = quick_config(seed=23)
+        spec = ScenarioSpec.from_config(config, workload="web", scheme="sib")
+        assert spec.to_config() == config
+
+    def test_base_presets(self):
+        assert _quick_spec({"name": "q", "base": "quick"}).to_config() == quick_config()
+        paper = _quick_spec({"name": "p"}).to_config()
+        assert paper.interval_us == 50_000.0
+
+    def test_int_widens_to_float_fields(self):
+        spec = _quick_spec(
+            {"name": "x", "base": "quick", "system": {"interval_us": 15000}}
+        )
+        config = spec.to_config()
+        assert config.interval_us == 15_000.0
+        assert isinstance(config.interval_us, float)
+        assert config == quick_config()
+
+    def test_nested_override_applies(self):
+        spec = _quick_spec(
+            {"name": "x", "system": {"lbica": {"margin": 2.5}, "hdd_disks": 4}}
+        )
+        config = spec.to_config()
+        assert config.lbica.margin == 2.5
+        assert config.hdd_disks == 4
+
+
+class TestSweep:
+    def test_expand_cartesian_product(self):
+        spec = _quick_spec(
+            {
+                "name": "grid",
+                "base": "quick",
+                "sweep": {"workload": ["tpcc", "mail"], "scheme": ["wb", "lbica"]},
+            }
+        )
+        grid = spec.expand()
+        assert len(grid) == 4
+        assert grid[0].name == "grid[workload=tpcc,scheme=wb]"
+        assert all(g.sweep_axes == {} for g in grid)
+        assert {(g.workload, g.scheme) for g in grid} == {
+            ("tpcc", "wb"), ("tpcc", "lbica"), ("mail", "wb"), ("mail", "lbica"),
+        }
+
+    def test_sweep_dotted_system_path(self):
+        spec = ScenarioSpec(name="s", base="quick")
+        seeds = [3, 5]
+        grid = spec.sweep({"system.seed": seeds})
+        assert [g.to_config().seed for g in grid] == seeds
+        assert [g.name for g in grid] == ["s[seed=3]", "s[seed=5]"]
+
+    def test_sweep_does_not_mutate_base(self):
+        spec = ScenarioSpec(name="s", base="quick")
+        spec.sweep({"system.lbica.margin": [9.0]})
+        assert spec.system == {}
+
+    def test_running_unexpanded_sweep_raises(self):
+        spec = _quick_spec(
+            {"name": "s", "base": "quick", "sweep": {"scheme": ["wb", "sib"]}}
+        )
+        with pytest.raises(ScenarioError):
+            spec.run()
+
+    def test_expand_without_axes_is_identity_copy(self):
+        spec = ScenarioSpec(name="solo", base="quick")
+        grid = spec.expand()
+        assert len(grid) == 1 and grid[0] == spec
+
+
+class TestRegistry:
+    def test_descriptions_cover_all(self):
+        descriptions = scenario_descriptions()
+        assert set(descriptions) >= {
+            "fig4_single_vm", "consolidated3", "bootstorm_neighbors", "paper_grid",
+        }
+        assert all(descriptions.values())
+
+    def test_get_scenario_returns_private_copy(self):
+        spec = get_scenario("fig4_single_vm")
+        spec.scheme = "wb"
+        assert get_scenario("fig4_single_vm").scheme == "lbica"
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_scenario(get_scenario("fig4_single_vm"))
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ValueError):
+            get_scenario("no_such_scenario")
+
+
+class TestRun:
+    def test_horizon_truncates(self):
+        base = {"name": "h", "workload": "web", "base": "quick"}
+        short = _quick_spec({**base, "horizon_intervals": 3}).run()
+        assert len(short.samples) <= 3
+
+    def test_fixed_policy_pins_controller(self):
+        spec = _quick_spec(
+            {
+                "name": "ro",
+                "workload": "web",
+                "scheme": "wb",
+                "base": "quick",
+                "fixed_policy": "ro",
+                "horizon_intervals": 5,
+            }
+        )
+        system = spec.build()
+        assert system.controller.policy.value == "RO"
+
+    def test_experiment_system_from_spec(self):
+        spec = _quick_spec({"name": "x", "workload": "web", "base": "quick"})
+        system = ExperimentSystem.from_spec(spec)
+        assert system.workload.name == "web"
+
+
+class TestSmoke:
+    def test_examples_library_smokes_clean(self):
+        files = sorted(EXAMPLES.glob("*.json"))
+        assert files, "examples/scenarios/ must not be empty"
+        doc = run_smoke(files, horizon_intervals=2, verbose=False)
+        assert doc["errors"] == {}
+        assert len(doc["files"]) == len(files)
+        for fingerprints in doc["files"].values():
+            for fingerprint in fingerprints.values():
+                assert fingerprint["completed"] >= 0
+
+    def test_broken_file_reported_not_raised(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"name": "bad", "scheme": "nope"}))
+        doc = run_smoke([bad], horizon_intervals=2, verbose=False)
+        assert str(bad) in doc["errors"]
+        assert doc["files"] == {}
+
+
+class TestCanonicalEquivalence:
+    """One spec-equals-code-built fingerprint test per canonical suite
+    scenario — the goldens are the committed code-built fingerprints."""
+
+    def test_fig4_single_vm(self):
+        spec = _quick_spec(
+            {
+                "name": "fig4_single_vm",
+                "workload": "tpcc",
+                "scheme": "lbica",
+                "base": "quick",
+                "system": {"seed": GOLDEN["seed"]},
+            }
+        )
+        assert (
+            _normalized(stats_fingerprint(spec.run()))
+            == GOLDEN["scenarios"]["fig4_single_vm"]
+        )
+
+    def test_consolidated3_from_tenants_json(self):
+        result = load_scenario(EXAMPLES / "consolidated3.json").run()
+        assert (
+            _normalized(stats_fingerprint(result))
+            == GOLDEN["scenarios"]["consolidated3"]
+        )
+
+    def test_bootstorm_neighbors_from_tenants_json(self):
+        result = load_scenario(EXAMPLES / "bootstorm_neighbors.json").run()
+        assert (
+            _normalized(stats_fingerprint(result))
+            == GOLDEN["scenarios"]["bootstorm_neighbors"]
+        )
+
+    def test_grid_fanout_from_sweep(self):
+        spec = get_scenario("paper_grid")
+        spec.base = "quick"
+        spec.system = {"seed": GOLDEN["seed"]}
+        grid = run_spec_grid(spec.expand(), max_workers=2)
+        assert len(grid) == 9
+        for name, result in grid.items():
+            cell = f"{result.workload}/{result.scheme}"
+            assert (
+                _normalized(stats_fingerprint(result))
+                == GOLDEN["scenarios"]["grid_fanout"][cell]
+            ), f"{name} diverges from golden {cell}"
+
+
+class TestSpecVsCodeBuilt:
+    def test_spec_run_equals_code_built_run(self):
+        # direct (non-golden) equivalence, including a system override
+        config = dataclasses.replace(quick_config(3), hdd_disks=2)
+        code_built = stats_fingerprint(
+            ExperimentSystem.build("mail", "sib", config).run()
+        )
+        spec = _quick_spec(
+            {
+                "name": "mail_sib",
+                "workload": "mail",
+                "scheme": "sib",
+                "base": "quick",
+                "system": {"seed": 3, "hdd_disks": 2},
+            }
+        )
+        assert stats_fingerprint(spec.run()) == code_built
+
+
+class TestCodeReviewRegressions:
+    def test_vms_workload_with_bad_component_rejected_at_validation(self):
+        with pytest.raises(ScenarioError):
+            ScenarioSpec.from_dict(
+                {"name": "x", "workload": "vms:nope+web", "base": "quick"}
+            )
+
+    def test_smoke_missing_file_recorded_not_raised(self, tmp_path):
+        missing = tmp_path / "gone.json"
+        doc = run_smoke([missing], horizon_intervals=2, verbose=False)
+        assert str(missing) in doc["errors"]
+
+    def test_sweep_kwargs_override_axes_mapping(self):
+        spec = ScenarioSpec(name="s", base="quick")
+        grid = spec.sweep({"scheme": ["wb"]}, scheme=["lbica"])
+        assert [g.scheme for g in grid] == ["lbica"]
+
+    def test_swept_values_are_validated_at_expansion(self):
+        spec = ScenarioSpec(name="s", base="quick")
+        with pytest.raises(ScenarioError):
+            spec.sweep({"scheme": ["bogus"]})
+        with pytest.raises(ScenarioError):
+            spec.sweep({"base": ["quick", "Quick"]})
+
+    def test_unknown_base_raises_instead_of_defaulting(self):
+        spec = ScenarioSpec(name="s")
+        spec.base = "Quick"  # bypass from_dict validation
+        with pytest.raises(ScenarioError):
+            spec.to_config()
+
+    def test_load_scenario_wraps_spec_errors_with_path(self, tmp_path):
+        path = tmp_path / "bad_inline.json"
+        path.write_text(json.dumps({
+            "name": "x", "base": "quick",
+            "workload": {"name": "w", "phases": [
+                {"label": "p", "n_intervals": 1,
+                 "read_pattern": {"kind": "uniform", "start": 0, "span": 8}}
+            ]},
+        }))
+        with pytest.raises(ScenarioError, match="bad_inline.json"):
+            load_scenario(path)
+
+    def test_leaf_type_mismatches_rejected(self):
+        for system in (
+            {"seed": {"foo": 1}},          # mapping onto a scalar
+            {"hdd_depth": "two"},          # string onto an int
+            {"interval_us": "fast"},       # string onto a float
+            {"replacement": 3},            # int onto a string
+            {"lbica": {"use_window_mix": "yes"}},  # string onto a bool
+            {"cache_blocks": 1.5},         # float onto an int
+        ):
+            with pytest.raises(ScenarioError):
+                _quick_spec({"name": "x", "system": system})
+
+    def test_too_deep_sweep_path_rejected_at_expansion(self):
+        spec = ScenarioSpec(name="s", base="quick")
+        with pytest.raises(ScenarioError):
+            spec.sweep({"system.seed.typo": [1, 2]})
+
+    def test_duplicate_sweep_values_rejected_at_expansion(self):
+        spec = ScenarioSpec(name="s", workload="web", base="quick")
+        with pytest.raises(ScenarioError, match="duplicate"):
+            spec.sweep({"system.seed": [1, 1]})

@@ -174,3 +174,122 @@ class TestWorkloadSpecs:
         result = ExperimentSystem(wl, "wb", cfg).run()
         assert result.completed > 0
         assert len(result.samples) == 10
+
+
+def tenants_spec():
+    return {
+        "name": "duo",
+        "tenants": [
+            {"workload": "web", "rate_scale": 0.75},
+            {"workload": "tpcc", "rate_scale": 0.5, "offset_intervals": 4,
+             "label": "oltp"},
+        ],
+    }
+
+
+class TestTenantSpecs:
+    def test_builds_multi_tenant_workload(self):
+        from repro.workloads.multi_tenant import MultiTenantWorkload
+
+        wl = workload_from_spec(tenants_spec(), 1000.0, cache_blocks=4096)
+        assert isinstance(wl, MultiTenantWorkload)
+        assert wl.name == "duo"
+        assert wl.tenant_count == 2
+        assert wl.children[1].name == "oltp"
+        assert wl.offsets_us == [0.0, 4 * 1000.0]
+
+    def test_matches_code_built_composition(self):
+        from repro.workloads.multi_tenant import MultiTenantWorkload, TenantSpec
+        from repro.workloads.tpcc import tpcc_workload
+        from repro.workloads.web import web_server_workload
+
+        built = workload_from_spec(tenants_spec(), 1000.0, cache_blocks=4096)
+        code = MultiTenantWorkload.compose(
+            "duo",
+            [
+                TenantSpec(web_server_workload, rate_scale=0.75),
+                TenantSpec(tpcc_workload, rate_scale=0.5, offset_intervals=4,
+                           label="oltp"),
+            ],
+            1000.0,
+            cache_blocks=4096,
+        )
+        assert built.lba_stride_blocks == code.lba_stride_blocks
+        assert built.offsets_us == code.offsets_us
+        assert [c.max_outstanding for c in built.children] == [
+            c.max_outstanding for c in code.children
+        ]
+        assert [p.rate_iops for c in built.children for p in c.phases] == [
+            p.rate_iops for c in code.children for p in c.phases
+        ]
+
+    def test_inline_child_workload(self):
+        spec = tenants_spec()
+        spec["tenants"][0]["workload"] = valid_spec()
+        wl = workload_from_spec(spec, 1000.0, cache_blocks=4096)
+        assert wl.children[0].name == "spec_demo"
+
+    def test_lba_stride_override(self):
+        spec = tenants_spec()
+        spec["lba_stride_blocks"] = 123456
+        wl = workload_from_spec(spec, 1000.0)
+        assert wl.lba_stride_blocks == 123456
+
+    def test_unknown_tenant_key_rejected(self):
+        spec = tenants_spec()
+        spec["tenants"][0]["surprise"] = 1
+        with pytest.raises(SpecError):
+            workload_from_spec(spec, 1000.0)
+
+    def test_unknown_workload_name_rejected(self):
+        spec = tenants_spec()
+        spec["tenants"][0]["workload"] = "no_such"
+        with pytest.raises(SpecError):
+            workload_from_spec(spec, 1000.0)
+
+    def test_nested_tenants_rejected(self):
+        spec = tenants_spec()
+        spec["tenants"][0]["workload"] = tenants_spec()
+        with pytest.raises(SpecError):
+            workload_from_spec(spec, 1000.0)
+
+    def test_empty_tenants_rejected(self):
+        with pytest.raises(SpecError):
+            workload_from_spec({"name": "x", "tenants": []}, 1000.0)
+
+
+class TestRateScaleThreading:
+    def test_phase_rates_scale(self):
+        wl_1x = workload_from_spec(valid_spec(), 1000.0)
+        wl_2x = workload_from_spec(valid_spec(), 1000.0, rate_scale=2.0)
+        assert [p.rate_iops for p in wl_2x.phases] == [
+            p.rate_iops * 2.0 for p in wl_1x.phases
+        ]
+
+    def test_synthetic_factories_honor_rate_scale(self):
+        """The registry's synthetic factories must not silently ignore
+        rate_scale (they did before the scenario refactor)."""
+        from repro.experiments.system import WORKLOADS
+
+        for name in ("random_read", "random_write", "seq_read", "seq_write",
+                     "mixed_rw"):
+            wl_1x = WORKLOADS[name](1000.0, 4096, 1.0, 256)
+            wl_2x = WORKLOADS[name](1000.0, 4096, 2.0, 256)
+            assert [p.rate_iops for p in wl_2x.phases] == [
+                p.rate_iops * 2.0 for p in wl_1x.phases
+            ], name
+
+    def test_default_max_outstanding_forwarded(self):
+        spec = valid_spec()
+        del spec["max_outstanding"]
+        wl = workload_from_spec(spec, 1000.0, max_outstanding=48)
+        assert wl.max_outstanding == 48
+        # the spec's own value still wins when present
+        wl = workload_from_spec(valid_spec(), 1000.0, max_outstanding=48)
+        assert wl.max_outstanding == 64
+
+    def test_registered_multi_tenant_name_rejected_as_tenant(self):
+        spec = tenants_spec()
+        spec["tenants"][0]["workload"] = "consolidated3"
+        with pytest.raises(SpecError, match="cannot nest"):
+            workload_from_spec(spec, 1000.0)
