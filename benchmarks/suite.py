@@ -28,6 +28,14 @@ Usage::
         --golden benchmarks/golden/suite_quick.json       # CI gate
     PYTHONPATH=src python benchmarks/suite.py --quick \
         --update-golden benchmarks/golden/suite_quick.json
+    PYTHONPATH=src python benchmarks/suite.py --quick \
+        --store results/store       # accumulate the BENCH trajectory
+
+Each document stamps provenance (repro ``__version__``, git commit when
+available, per-scenario store keys); ``--store`` additionally writes
+every scenario's artifact into a :class:`repro.store.RunStore` and
+appends the document to the store's ``bench_history.jsonl``, so
+benchmark runs accumulate across invocations instead of overwriting.
 """
 
 from __future__ import annotations
@@ -48,9 +56,10 @@ except ImportError:  # pragma: no cover - path bootstrap
     sys.path.insert(0, str(_REPO_ROOT / "src"))
 
 from repro.config import SystemConfig, paper_config, quick_config
-from repro.experiments.runner import PAPER_WORKLOADS, run_grid
+from repro.experiments.runner import PAPER_WORKLOADS, run_grid, run_perf_counters
 from repro.experiments.system import SCHEMES
 from repro.scenario import get_scenario, stats_fingerprint  # noqa: F401 (re-export)
+from repro.store import RunArtifact, RunKey, RunStore, provenance
 
 __all__ = ["SCENARIOS", "run_scenario", "run_suite", "stats_fingerprint", "main"]
 
@@ -65,24 +74,35 @@ def _peak_rss_kb() -> int:
     return max(self_kb, child_kb)
 
 
-def _run_single(scenario_name: str, config: SystemConfig) -> tuple[dict, dict]:
-    """One registry scenario under the suite's config (timed)."""
+def _run_single(
+    scenario_name: str, config: SystemConfig, store: Optional[RunStore] = None
+) -> tuple[dict, dict, Optional[str]]:
+    """One registry scenario under the suite's config (timed).
+
+    With a store, the run is written through as a
+    :class:`~repro.store.RunArtifact` keyed by (scenario, the *injected*
+    config, schema version) — the same key a campaign over the same
+    scenario/config would hit — and the key's digest is returned for the
+    document's provenance block.
+    """
     spec = get_scenario(scenario_name)
     t0 = time.perf_counter()
     result = spec.run(config=config)
     wall = time.perf_counter() - t0
-    perf = {
-        "wall_clock_s": round(wall, 4),
-        "events_processed": result.events_processed,
-        "events_per_sec": round(result.events_processed / wall) if wall else 0,
-        "completed_requests": result.completed,
-        "simulated_ios_per_sec": round(result.completed / wall) if wall else 0,
-        "peak_rss_kb": _peak_rss_kb(),
-    }
-    return perf, stats_fingerprint(result)
+    perf = {**run_perf_counters(result, wall), "peak_rss_kb": _peak_rss_kb()}
+    digest = RunKey.for_spec(spec, config=config).digest
+    if store is not None:
+        store.put(
+            RunArtifact.from_result(
+                spec, result, config=config, perf=perf, provenance=provenance()
+            )
+        )
+    return perf, stats_fingerprint(result), digest
 
 
-def _run_grid_fanout(config: SystemConfig, jobs: int) -> tuple[dict, dict]:
+def _run_grid_fanout(
+    config: SystemConfig, jobs: int, store: Optional[RunStore] = None
+) -> tuple[dict, dict, Optional[str]]:
     t0 = time.perf_counter()
     grid = run_grid(PAPER_WORKLOADS, SCHEMES, config=config, max_workers=jobs)
     wall = time.perf_counter() - t0
@@ -101,29 +121,39 @@ def _run_grid_fanout(config: SystemConfig, jobs: int) -> tuple[dict, dict]:
     stats = {
         f"{wl}/{sc}": stats_fingerprint(r) for (wl, sc), r in sorted(grid.items())
     }
-    return perf, stats
+    return perf, stats, None
 
 
-#: name -> factory(config, jobs) -> (perf dict, stats fingerprint).  The
-#: single-run entries are registered :class:`ScenarioSpec`s by the same
-#: name; ``grid_fanout`` is the parallel (workload × scheme) grid.
-SCENARIOS: dict[str, Callable[[SystemConfig, int], tuple[dict, dict]]] = {
-    CANONICAL: lambda cfg, jobs: _run_single(CANONICAL, cfg),
-    "consolidated3": lambda cfg, jobs: _run_single("consolidated3", cfg),
-    "bootstorm_neighbors": lambda cfg, jobs: _run_single(
-        "bootstorm_neighbors", cfg
+#: name -> factory(config, jobs, store) -> (perf dict, stats
+#: fingerprint, store-key digest or None).  The single-run entries are
+#: registered :class:`ScenarioSpec`s by the same name; ``grid_fanout``
+#: is the parallel (workload × scheme) grid (not individually keyed).
+SCENARIOS: dict[
+    str,
+    Callable[[SystemConfig, int, Optional[RunStore]], tuple[dict, dict, Optional[str]]],
+] = {
+    CANONICAL: lambda cfg, jobs, store=None: _run_single(CANONICAL, cfg, store),
+    "consolidated3": lambda cfg, jobs, store=None: _run_single(
+        "consolidated3", cfg, store
+    ),
+    "bootstorm_neighbors": lambda cfg, jobs, store=None: _run_single(
+        "bootstorm_neighbors", cfg, store
     ),
     "grid_fanout": _run_grid_fanout,
 }
 
 
 def run_scenario(
-    name: str, config: SystemConfig, jobs: int = 2
+    name: str,
+    config: SystemConfig,
+    jobs: int = 2,
+    store: Optional[RunStore] = None,
 ) -> tuple[dict, dict]:
     """Run one named scenario; returns ``(perf, stats_fingerprint)``."""
     if name not in SCENARIOS:
         raise ValueError(f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}")
-    return SCENARIOS[name](config, jobs)
+    perf, stats, _ = SCENARIOS[name](config, jobs, store)
+    return perf, stats
 
 
 def run_suite(
@@ -132,29 +162,55 @@ def run_suite(
     jobs: int = 2,
     scenarios: Optional[Sequence[str]] = None,
     verbose: bool = True,
+    store: Optional[RunStore] = None,
 ) -> dict:
-    """Run the suite and return the ``BENCH_suite.json`` document."""
+    """Run the suite and return the ``BENCH_suite.json`` document.
+
+    Every document carries a ``provenance`` block (repro version, git
+    commit when available, per-scenario store keys) so stored benchmark
+    runs are attributable and diffable.  With a ``store``, each single
+    scenario's artifact is written through and the whole document is
+    appended to the store's ``bench_history.jsonl`` — the BENCH
+    trajectory accumulates across invocations instead of overwriting.
+    """
     config = quick_config(seed) if quick else paper_config(seed)
     names = list(scenarios) if scenarios else list(SCENARIOS)
+    prov = provenance()
     doc: dict = {
         "suite": "lbica-bench-suite",
         "config": "quick" if quick else "paper",
         "seed": seed,
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "provenance": {
+            "repro_version": prov["repro_version"],
+            "git_commit": prov["git_commit"],
+            "created_at": prov["created_at"],
+            "store": str(store.root) if store is not None else None,
+            "store_keys": {},
+        },
         "scenarios": {},
     }
     for name in names:
         if verbose:
             print(f"[suite] {name} ...", flush=True)
-        perf, stats = run_scenario(name, config, jobs)
+        perf, stats, digest = SCENARIOS[name](config, jobs, store)
         doc["scenarios"][name] = {"perf": perf, "stats": stats}
+        doc["provenance"]["store_keys"][name] = digest
         if verbose:
             print(
                 f"[suite]   {perf['wall_clock_s']:.3f}s, "
                 f"{perf['events_per_sec']} events/s, "
                 f"{perf['simulated_ios_per_sec']} simulated IOs/s, "
                 f"peak RSS {perf['peak_rss_kb']} KiB",
+                flush=True,
+            )
+    if store is not None:
+        store.append_history(doc)
+        if verbose:
+            print(
+                f"[suite] appended run #{len(store.history())} to "
+                f"{store.history_path}",
                 flush=True,
             )
     return doc
@@ -225,6 +281,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="result file path (default: ./BENCH_suite.json)",
     )
     parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help=(
+            "run-store directory: write each scenario's artifact through "
+            "and append this document to the store's bench_history.jsonl "
+            "(the accumulating BENCH trajectory)"
+        ),
+    )
+    parser.add_argument(
         "--golden",
         default=None,
         help="compare stats fingerprints against this golden file; exit 1 on divergence",
@@ -238,7 +304,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     doc = run_suite(
-        quick=args.quick, seed=args.seed, jobs=args.jobs, scenarios=args.scenarios
+        quick=args.quick,
+        seed=args.seed,
+        jobs=args.jobs,
+        scenarios=args.scenarios,
+        store=RunStore(args.store) if args.store else None,
     )
     out_path = Path(args.out)
     out_path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")

@@ -20,6 +20,9 @@ setup(
     packages=find_packages(where="src"),
     install_requires=["numpy"],
     entry_points={
-        "console_scripts": ["lbica-experiments=repro.experiments.cli:main"]
+        "console_scripts": [
+            "lbica-experiments=repro.experiments.cli:main",
+            "repro=repro.__main__:main",
+        ]
     },
 )

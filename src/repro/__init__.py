@@ -18,7 +18,11 @@ discrete-event simulation:
   plus headline numbers and ablations;
 - :mod:`repro.scenario` — declarative :class:`ScenarioSpec` scenarios
   (JSON in, bit-identical experiment out), the scenario registry, and
-  the smoke runner.
+  the smoke runner;
+- :mod:`repro.store` — the content-addressed on-disk run store
+  (atomic JSON artifacts keyed by scenario + config + schema version);
+- :mod:`repro.campaign` — resumable campaigns over the store
+  (``repro campaign run|status|report|diff``).
 
 Quickstart::
 
@@ -45,6 +49,8 @@ from repro.core import (
 )
 from repro.experiments.system import ExperimentSystem, RunResult
 from repro.scenario import ScenarioSpec, load_scenario
+from repro.store import RunArtifact, RunKey, RunStore
+from repro.campaign import CampaignSpec, load_campaign, run_campaign
 
 __all__ = [
     "SystemConfig",
@@ -59,6 +65,12 @@ __all__ = [
     "RunResult",
     "ScenarioSpec",
     "load_scenario",
+    "RunStore",
+    "RunKey",
+    "RunArtifact",
+    "CampaignSpec",
+    "load_campaign",
+    "run_campaign",
 ]
 
 __version__ = "1.0.0"

@@ -1,0 +1,44 @@
+"""``python -m repro`` — the umbrella command line.
+
+Subcommands dispatch to the dedicated CLIs::
+
+    python -m repro campaign run|status|report|diff ...
+    python -m repro experiments fig4 ...     # = python -m repro.experiments
+
+(The installed console scripts are ``repro`` for this dispatcher and
+``lbica-experiments`` for the experiments CLI.)
+"""
+
+import sys
+from typing import Optional, Sequence
+
+_USAGE = """\
+usage: repro <command> ...
+
+commands:
+  campaign     run / status / report / diff persistent experiment campaigns
+  experiments  regenerate paper figures (same as `lbica-experiments`)
+"""
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Dispatch to a subsystem CLI; returns a process exit code."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args or args[0] in ("-h", "--help"):
+        print(_USAGE)
+        return 0 if args else 2
+    command, rest = args[0], args[1:]
+    if command == "campaign":
+        from repro.campaign.cli import main as campaign_main
+
+        return campaign_main(rest)
+    if command == "experiments":
+        from repro.experiments.cli import main as experiments_main
+
+        return experiments_main(rest)
+    print(f"unknown command {command!r}\n\n{_USAGE}", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

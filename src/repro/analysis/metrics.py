@@ -29,11 +29,23 @@ __all__ = [
 
 
 def percentile(values: Sequence[float], q: float) -> float:
-    """The ``q``-th percentile (0–100) of ``values`` (0.0 when empty)."""
+    """The ``q``-th percentile (0–100) of ``values``.
+
+    An empty population has **no** percentiles, so the result is ``nan``
+    — explicitly, so a caller averaging or comparing it fails loudly
+    instead of treating "no data" as "zero latency" (the old behavior,
+    which made empty populations look infinitely fast in reports).
+
+    Example:
+        >>> percentile([1.0, 2.0, 3.0], 50)
+        2.0
+        >>> percentile([], 50)
+        nan
+    """
     if not 0.0 <= q <= 100.0:
         raise ValueError("q must be in [0, 100]")
     if len(values) == 0:
-        return 0.0
+        return float("nan")
     return float(np.percentile(np.asarray(values, dtype=np.float64), q))
 
 
@@ -58,6 +70,52 @@ class LatencySummary:
             "p99": self.p99,
             "max": self.maximum,
         }
+
+    @classmethod
+    def from_dict(cls, data: object) -> "LatencySummary":
+        """Strict inverse of :meth:`as_dict` (exact round-trip).
+
+        The run store rehydrates persisted summaries through this, so
+        the contract is strict: the mapping must carry exactly the
+        :meth:`as_dict` keys, ``count`` must be an int, and every other
+        field a real number — ``LatencySummary.from_dict(s.as_dict())
+        == s`` holds bit-for-bit, including through a JSON round-trip.
+
+        Raises:
+            ValueError: On missing/unknown keys or wrong-typed values.
+        """
+        expected = {"count", "mean", "p50", "p95", "p99", "max"}
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"latency summary: expected a mapping, got {type(data).__name__}"
+            )
+        if set(data) != expected:
+            missing = sorted(expected - set(data))
+            unknown = sorted(set(data) - expected)
+            raise ValueError(
+                f"latency summary: missing keys {missing}, unknown keys {unknown}"
+            )
+        count = data["count"]
+        if isinstance(count, bool) or not isinstance(count, int) or count < 0:
+            raise ValueError(
+                f"latency summary: count must be a non-negative int, got {count!r}"
+            )
+        floats = {}
+        for field in ("mean", "p50", "p95", "p99", "max"):
+            value = data[field]
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ValueError(
+                    f"latency summary: {field} must be a number, got {value!r}"
+                )
+            floats[field] = float(value)
+        return cls(
+            count=count,
+            mean=floats["mean"],
+            p50=floats["p50"],
+            p95=floats["p95"],
+            p99=floats["p99"],
+            maximum=floats["max"],
+        )
 
 
 def latency_summary(latencies: Iterable[float]) -> LatencySummary:

@@ -49,14 +49,18 @@ def format_table(
 def comparison_table(
     rows: Mapping[str, tuple[str, str, str]],
     title: str = "paper vs. measured",
+    labels: Sequence[str] = ("paper", "measured"),
 ) -> str:
-    """Render ``{metric: (paper_value, measured_value, verdict)}`` rows.
+    """Render ``{metric: (left_value, right_value, verdict)}`` rows.
 
     The EXPERIMENTS.md generator uses this for every figure's
-    shape-comparison summary.
+    shape-comparison summary (with the default ``paper``/``measured``
+    labels); the campaign differ relabels the sides ``A``/``B``.
     """
+    if len(labels) != 2:
+        raise ValueError("labels must name exactly the two compared sides")
     return format_table(
-        ["metric", "paper", "measured", "verdict"],
+        ["metric", *labels, "verdict"],
         [(metric, *vals) for metric, vals in rows.items()],
         title=title,
     )

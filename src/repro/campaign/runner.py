@@ -1,0 +1,145 @@
+"""Resumable campaign execution over a persistent run store.
+
+:func:`run_campaign` expands a :class:`~repro.campaign.spec.CampaignSpec`
+into its scenario grid, skips every scenario whose
+:class:`~repro.store.RunKey` the store already holds (a **store hit** —
+nothing is simulated), and runs the rest in shards through
+:class:`~repro.experiments.runner.ExperimentRunner` with the store
+attached.  Each shard's results are written through to disk as they
+complete, so a killed campaign loses at most the in-flight shard: the
+next invocation reports everything already on disk as store hits and
+only simulates the remainder.
+
+Corrupt or foreign-schema artifacts are treated as misses (re-simulated
+and rewritten), so a damaged store heals instead of wedging the
+campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.campaign.spec import CampaignSpec
+from repro.experiments.runner import ExperimentRunner
+from repro.store import RunArtifact, RunKey, RunStore, StoreError
+
+__all__ = ["CampaignRun", "run_campaign"]
+
+
+@dataclass
+class CampaignRun:
+    """What one campaign invocation did.
+
+    Attributes:
+        campaign: The campaign name.
+        hits: Scenario names answered from the store (no simulation).
+        simulated: Scenario names simulated this invocation.
+        healed: Scenario names whose stored artifact was unreadable and
+            got re-simulated.
+        artifacts: Every scenario's artifact by name (hits + fresh).
+    """
+
+    campaign: str
+    hits: list[str] = field(default_factory=list)
+    simulated: list[str] = field(default_factory=list)
+    healed: list[str] = field(default_factory=list)
+    artifacts: dict[str, RunArtifact] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        """Scenarios in the campaign grid."""
+        return len(self.hits) + len(self.simulated)
+
+    def summary(self) -> str:
+        """The one-line outcome (what the CLI prints and CI greps)."""
+        text = (
+            f"campaign {self.campaign}: {self.total} scenarios — "
+            f"{len(self.hits)} store hits, {len(self.simulated)} simulated"
+        )
+        if self.healed:
+            text += f" ({len(self.healed)} healed from corrupt artifacts)"
+        return text
+
+
+def _shards(items: list, size: int) -> list[list]:
+    """Split ``items`` into consecutive shards of at most ``size``."""
+    return [items[i : i + size] for i in range(0, len(items), size)]
+
+
+def run_campaign(
+    campaign: CampaignSpec,
+    store: RunStore,
+    jobs: Optional[int] = None,
+    shard_size: int = 8,
+    verbose: bool = True,
+) -> CampaignRun:
+    """Run (or resume) a campaign against a store.
+
+    Args:
+        campaign: The campaign to run.
+        store: Run store holding completed scenarios; every fresh result
+            is written through to it.
+        jobs: Process fan-out per shard (defaults to the campaign's own
+            ``jobs`` field).
+        shard_size: Scenarios per shard.  Each shard gets a fresh
+            :class:`ExperimentRunner`, which bounds the in-memory
+            ``RunResult`` footprint — the store, not the memo cache, is
+            the cross-shard memory.
+        verbose: Print progress (store hits, per-shard completion).
+
+    Returns:
+        A :class:`CampaignRun` with every scenario's artifact.
+    """
+    if shard_size < 1:
+        raise ValueError("shard_size must be >= 1")
+    workers = campaign.jobs if jobs is None else jobs
+    if workers < 1:
+        raise ValueError("jobs must be >= 1")
+    specs = campaign.expand()
+    run = CampaignRun(campaign=campaign.name)
+
+    missing = []
+    for spec in specs:
+        key = RunKey.for_spec(spec)
+        if store.contains(key):
+            try:
+                run.artifacts[spec.name] = store.get(key)
+                run.hits.append(spec.name)
+                continue
+            except StoreError as exc:
+                run.healed.append(spec.name)
+                if verbose:
+                    print(
+                        f"[campaign] {spec.name}: stored artifact unreadable "
+                        f"({exc}); re-simulating",
+                        flush=True,
+                    )
+        missing.append(spec)
+    if verbose:
+        print(
+            f"[campaign] {campaign.name}: {len(specs)} scenarios — "
+            f"{len(run.hits)} already stored, {len(missing)} to simulate "
+            f"(jobs={workers})",
+            flush=True,
+        )
+
+    done = 0
+    for shard in _shards(missing, shard_size):
+        # a fresh runner per shard: the store carries results across
+        # shards (and invocations), the memo cache only within one
+        runner = ExperimentRunner(store=store, verbose=verbose)
+        runner.run_specs(shard, max_workers=workers)
+        done += len(shard)
+        for spec in shard:
+            run.artifacts[spec.name] = store.get(RunKey.for_spec(spec))
+            run.simulated.append(spec.name)
+        if verbose and missing:
+            print(
+                f"[campaign] progress: {done}/{len(missing)} simulated "
+                f"({len(run.hits) + done}/{len(specs)} total)",
+                flush=True,
+            )
+    if verbose:
+        print(f"[campaign] {run.summary()}", flush=True)
+    return run

@@ -1,0 +1,201 @@
+"""Declarative experiment campaigns: a named list of scenarios as data.
+
+A :class:`CampaignSpec` turns "run these N scenarios and keep the
+results" into one JSON file::
+
+    {
+      "name": "nightly",
+      "description": "the canonical scenarios plus a scheme sweep",
+      "store": "results/nightly-store",
+      "jobs": 4,
+      "scenarios": [
+        "fig4_single_vm",
+        {"name": "web_schemes", "workload": "web", "base": "quick",
+         "sweep": {"scheme": ["wb", "sib", "lbica"]}}
+      ]
+    }
+
+Entries are either registered scenario names (the
+:mod:`repro.scenario.registry` library) or inline scenario dicts in the
+:class:`~repro.scenario.ScenarioSpec` schema — including ``sweep`` axes,
+which :meth:`CampaignSpec.expand` expands exactly like
+``ScenarioSpec.expand()``.  Validation is strict at every level (unknown
+keys raise), and expanded scenario names must be unique across the whole
+campaign: the name is how reports and diffs line runs up.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Optional, Sequence, Union
+
+from repro.scenario.registry import get_scenario
+from repro.scenario.spec import ScenarioSpec, scenario_from_dict
+
+__all__ = ["CampaignSpec", "CampaignError", "load_campaign"]
+
+#: Top-level keys of a campaign spec dict.
+_CAMPAIGN_KEYS = {"name", "description", "scenarios", "store", "jobs"}
+
+
+class CampaignError(ValueError):
+    """Raised for malformed campaign specifications."""
+
+
+@dataclass
+class CampaignSpec:
+    """One experiment campaign, fully described as data.
+
+    Attributes:
+        name: Campaign name (reports, store history, progress lines).
+        scenarios: Registered scenario names and/or inline scenario
+            dicts (each may carry ``sweep`` axes).
+        description: One-line human description.
+        store: Default run-store directory (the CLI's ``--store``
+            overrides it).
+        jobs: Default process fan-out (the CLI's ``--jobs`` overrides).
+    """
+
+    name: str
+    scenarios: list = field(default_factory=list)
+    description: str = ""
+    store: Optional[str] = None
+    jobs: int = 1
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`CampaignError` on any inconsistency.
+
+        Every entry is resolved/built (registry names looked up, inline
+        dicts validated by the scenario layer) and the expanded grid is
+        checked for name collisions — a malformed campaign fails here,
+        never mid-run.
+        """
+        if not self.name or not isinstance(self.name, str):
+            raise CampaignError("campaign: name must be a non-empty string")
+        if not isinstance(self.scenarios, Sequence) or isinstance(
+            self.scenarios, (str, bytes)
+        ):
+            raise CampaignError(
+                f"campaign {self.name!r}: scenarios must be a list"
+            )
+        if not self.scenarios:
+            raise CampaignError(
+                f"campaign {self.name!r}: scenarios must be non-empty"
+            )
+        if self.store is not None and not isinstance(self.store, str):
+            raise CampaignError(
+                f"campaign {self.name!r}: store must be a path string"
+            )
+        if isinstance(self.jobs, bool) or not isinstance(self.jobs, int) or (
+            self.jobs < 1
+        ):
+            raise CampaignError(
+                f"campaign {self.name!r}: jobs must be a positive int"
+            )
+        self.expand()  # resolves every entry and checks name uniqueness
+
+    # ------------------------------------------------------------------
+    # Dict / JSON round-trip
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-data dict; :meth:`from_dict` round-trips it."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "scenarios": copy.deepcopy(self.scenarios),
+            "store": self.store,
+            "jobs": self.jobs,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """The campaign as formatted JSON."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, spec: Mapping[str, Any]) -> "CampaignSpec":
+        """Build and validate a campaign from its dict form.
+
+        Raises:
+            CampaignError: On unknown keys or invalid values (scenario
+                entries get the scenario layer's own strict validation).
+        """
+        if not isinstance(spec, Mapping):
+            raise CampaignError(
+                f"campaign spec: expected a mapping, got {type(spec).__name__}"
+            )
+        unknown = set(spec) - _CAMPAIGN_KEYS
+        if unknown:
+            raise CampaignError(f"campaign spec: unknown keys {sorted(unknown)}")
+        if "name" not in spec:
+            raise CampaignError("campaign spec: missing required key 'name'")
+        built = cls(
+            name=spec["name"],
+            scenarios=copy.deepcopy(list(spec.get("scenarios") or [])),
+            description=spec.get("description", ""),
+            store=spec.get("store"),
+            jobs=spec.get("jobs", 1),
+        )
+        built.validate()
+        return built
+
+    # ------------------------------------------------------------------
+    # Expansion
+    # ------------------------------------------------------------------
+    def expand(self) -> list[ScenarioSpec]:
+        """The flat scenario grid this campaign runs (sweeps expanded).
+
+        Registered names resolve through the scenario registry; inline
+        dicts build through ``scenario_from_dict``.  Expanded names must
+        be unique campaign-wide.
+        """
+        out: list[ScenarioSpec] = []
+        for i, entry in enumerate(self.scenarios):
+            where = f"campaign {self.name!r}: scenarios[{i}]"
+            if isinstance(entry, str):
+                try:
+                    spec = get_scenario(entry)
+                except ValueError as exc:
+                    raise CampaignError(f"{where}: {exc}") from None
+            elif isinstance(entry, Mapping):
+                try:
+                    spec = scenario_from_dict(entry)
+                except ValueError as exc:
+                    raise CampaignError(f"{where}: {exc}") from None
+            else:
+                raise CampaignError(
+                    f"{where}: expected a registered scenario name or a "
+                    f"scenario dict, got {type(entry).__name__}"
+                )
+            out.extend(spec.expand())
+        names = [spec.name for spec in out]
+        duplicates = sorted({n for n in names if names.count(n) > 1})
+        if duplicates:
+            raise CampaignError(
+                f"campaign {self.name!r}: duplicate scenario names "
+                f"{duplicates} after expansion — reports and diffs line "
+                f"runs up by name, so every expanded scenario needs its own"
+            )
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CampaignSpec({self.name!r}, {len(self.scenarios)} entries)"
+
+
+def load_campaign(path: Union[str, Path]) -> CampaignSpec:
+    """Parse a JSON campaign file and validate it."""
+    try:
+        spec = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise CampaignError(f"{path}: invalid JSON ({exc})") from None
+    try:
+        return CampaignSpec.from_dict(spec)
+    except ValueError as exc:
+        # ValueError also covers the scenario layer's errors, so any
+        # malformed file reports its path
+        raise CampaignError(f"{path}: {exc}") from None

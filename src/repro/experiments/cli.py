@@ -13,6 +13,9 @@ Examples::
     lbica-experiments --list-scenarios     # registered scenario specs
     lbica-experiments --scenario examples/scenarios/consolidated3.json
     lbica-experiments --dump-scenario consolidated3 > my_scenario.json
+    lbica-experiments campaign run examples/campaigns/smoke.json \
+        --store results/store              # persistent campaigns (see
+                                           # repro.campaign.cli)
     python -m repro.experiments fig7       # module form
 
 Each figure prints its ASCII chart and shape-check table; ``--out``
@@ -181,8 +184,15 @@ def _run_scenario_file(
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    args_list = list(sys.argv[1:] if argv is None else argv)
+    if args_list and args_list[0] == "campaign":
+        # persistent campaigns have their own subcommand tree; delegate
+        # before argparse sees the figure-target grammar
+        from repro.campaign.cli import main as campaign_main
+
+        return campaign_main(args_list[1:])
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(args_list)
     if args.list_workloads:
         _print_descriptions(workload_descriptions())
         return 0

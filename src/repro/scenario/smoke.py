@@ -10,7 +10,12 @@ the example library is visible as a fingerprint diff between runs).
 Usage::
 
     PYTHONPATH=src python -m repro.scenario examples/scenarios \\
-        --horizon 3 --out scenario_fingerprints.json
+        --horizon 3 --jobs 4 --out scenario_fingerprints.json
+
+``--jobs N`` fans the short runs out across processes (the same
+``ProcessPoolExecutor`` pattern as ``ExperimentRunner.run_specs``);
+every expanded scenario is an independent simulation, so the parallel
+report is identical to the serial one.
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ import argparse
 import dataclasses
 import json
 import sys
+from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 from typing import Optional, Sequence
 
@@ -26,6 +32,22 @@ from repro.scenario.fingerprint import stats_fingerprint
 from repro.scenario.spec import ScenarioSpec, load_scenario
 
 __all__ = ["smoke_run_spec", "run_smoke", "main"]
+
+
+def _smoke_worker(
+    task: tuple[str, ScenarioSpec, int],
+) -> tuple[str, str, Optional[dict], Optional[str]]:
+    """Pool entry point: one short run, errors returned (never raised).
+
+    Returns ``(file label, scenario name, fingerprint | None,
+    error | None)`` so one crashing scenario cannot take down the pool's
+    result stream.
+    """
+    label, spec, horizon = task
+    try:
+        return label, spec.name, smoke_run_spec(spec, horizon), None
+    except Exception as exc:  # record-and-continue, as in the serial path
+        return label, spec.name, None, f"{type(exc).__name__}: {exc}"
 
 
 def smoke_run_spec(spec: ScenarioSpec, horizon_intervals: int) -> dict:
@@ -42,7 +64,10 @@ def smoke_run_spec(spec: ScenarioSpec, horizon_intervals: int) -> dict:
 
 
 def run_smoke(
-    paths: Sequence[Path], horizon_intervals: int = 3, verbose: bool = True
+    paths: Sequence[Path],
+    horizon_intervals: int = 3,
+    verbose: bool = True,
+    jobs: int = 1,
 ) -> dict:
     """Validate + short-run every scenario file; returns the report doc.
 
@@ -50,26 +75,71 @@ def run_smoke(
     that fail validation or crash mid-run are recorded under ``errors``
     (``file -> message``) instead of raising, so one broken example does
     not hide problems in the rest.
+
+    Args:
+        paths: Scenario files to check.
+        horizon_intervals: Truncation horizon per run.
+        verbose: Print per-run progress.
+        jobs: Process count for the runs.  ``1`` runs serially; larger
+            values fan the expanded scenarios out (validation stays
+            serial — it is cheap and orders error messages).  The
+            report is identical either way.
     """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
     doc: dict = {"horizon_intervals": horizon_intervals, "files": {}, "errors": {}}
+    # Phase 1 (serial): load + validate + expand; a file that fails here
+    # is recorded and contributes no run tasks.
+    tasks: list[tuple[str, ScenarioSpec, int]] = []
+    order: list[str] = []
     for path in paths:
         label = str(path)
         try:
             spec = load_scenario(path)
-            fingerprints = {}
-            for expanded in spec.expand():
-                if verbose:
-                    print(f"[smoke] {path.name}: {expanded.name} ...", flush=True)
-                fingerprints[expanded.name] = smoke_run_spec(
-                    expanded, horizon_intervals
-                )
-            doc["files"][label] = fingerprints
+            expanded = spec.expand()
         except Exception as exc:  # record-and-continue: one broken file
-            # (bad JSON, missing path, mid-run crash) must not hide the
+            # (bad JSON, missing path, malformed spec) must not hide the
             # rest of the library or the fingerprint report
             doc["errors"][label] = f"{type(exc).__name__}: {exc}"
             if verbose:
                 print(f"[smoke] {path.name}: FAILED — {exc}", file=sys.stderr)
+            continue
+        order.append(label)
+        tasks.extend((label, e, horizon_intervals) for e in expanded)
+    # Phase 2: the short runs, serial or fanned out.
+    if jobs > 1 and len(tasks) > 1:
+        if verbose:
+            print(
+                f"[smoke] running {len(tasks)} scenarios across {jobs} "
+                f"workers ...",
+                flush=True,
+            )
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            outcomes = list(pool.map(_smoke_worker, tasks))
+    else:
+        outcomes = []
+        for task in tasks:
+            if verbose:
+                print(
+                    f"[smoke] {Path(task[0]).name}: {task[1].name} ...",
+                    flush=True,
+                )
+            outcomes.append(_smoke_worker(task))
+    # Assemble per-file, preserving the serial semantics: a file whose
+    # run crashed lands in errors, not in files.
+    by_file: dict[str, dict] = {label: {} for label in order}
+    for label, name, fingerprint, error in outcomes:
+        if label in doc["errors"]:
+            continue
+        if error is not None:
+            doc["errors"][label] = error
+            if verbose:
+                print(f"[smoke] {Path(label).name}: FAILED — {error}", file=sys.stderr)
+            continue
+        by_file[label][name] = fingerprint
+    for label in order:
+        if label not in doc["errors"]:
+            doc["files"][label] = by_file[label]
     return doc
 
 
@@ -101,11 +171,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--out", default=None, help="write the fingerprint report to this file"
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="processes for the short runs (default 1 = serial)",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress progress messages"
     )
     args = parser.parse_args(argv)
     if args.horizon < 1:
         print("--horizon must be >= 1", file=sys.stderr)
+        return 2
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
         return 2
 
     paths: list[Path] = []
@@ -115,7 +194,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("no scenario files found", file=sys.stderr)
         return 2
 
-    doc = run_smoke(paths, horizon_intervals=args.horizon, verbose=not args.quiet)
+    doc = run_smoke(
+        paths,
+        horizon_intervals=args.horizon,
+        verbose=not args.quiet,
+        jobs=args.jobs,
+    )
     if args.out:
         Path(args.out).write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
         if not args.quiet:

@@ -1,0 +1,239 @@
+"""The stored form of one experiment run.
+
+A :class:`RunArtifact` is the JSON document the run store keeps per
+scenario: the scenario spec and the exact :class:`~repro.config.
+SystemConfig` it ran under (both as plain dicts), the deterministic
+stats fingerprint (:func:`~repro.scenario.fingerprint.stats_fingerprint`
+— the same digest the benchmark goldens pin), per-tenant stat tables,
+:class:`~repro.analysis.metrics.LatencySummary` views of the overall /
+read / write latency populations, free-form perf counters (wall clock,
+events/sec — never part of the fingerprint), and provenance (repro
+version, git commit, creation time).
+
+Artifacts are summaries, not pickles: they hold everything campaign
+status / report / diff need, but not the raw latency populations or
+interval series — a store hit answers "what did this run measure",
+re-simulation answers "give me the full :class:`RunResult`".
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+from repro.analysis.metrics import LatencySummary, latency_summary
+
+__all__ = ["RunArtifact"]
+
+#: Keys of the artifact payload dict (strict round-trip).
+_ARTIFACT_KEYS = {
+    "spec",
+    "config",
+    "fingerprint",
+    "latency",
+    "tenant_stats",
+    "perf",
+    "provenance",
+}
+
+#: The three latency populations summarized per run.
+_LATENCY_SECTIONS = ("overall", "read", "write")
+
+
+def _canonical(obj: Any) -> str:
+    """Canonical JSON — the digest and checksum input form."""
+    return json.dumps(obj, sort_keys=True)
+
+
+@dataclass
+class RunArtifact:
+    """One stored run: spec + config + measured summaries.
+
+    Attributes:
+        spec: The scenario spec in dict form (``ScenarioSpec.to_dict``).
+        config: The exact ``SystemConfig`` the run used, as a nested
+            dict (``dataclasses.asdict``) — recorded separately from the
+            spec because callers may inject a config override
+            (``spec.run(config=...)``, as the benchmark suite does).
+        fingerprint: Deterministic stats digest of the ``RunResult``.
+        latency: ``{"overall"|"read"|"write": LatencySummary.as_dict()}``.
+        tenant_stats: Per-VM stat table (``RunResult.tenant_stats`` with
+            string tenant ids, as in the fingerprint).
+        perf: Free-form perf counters (wall clock, events/sec, RSS …);
+            never compared by ``diff``.
+        provenance: Who/when/what produced this artifact (repro version,
+            git commit, ISO timestamp); never compared by ``diff``.
+    """
+
+    spec: dict
+    config: dict
+    fingerprint: dict
+    latency: dict = field(default_factory=dict)
+    tenant_stats: dict = field(default_factory=dict)
+    perf: dict = field(default_factory=dict)
+    provenance: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_result(
+        cls,
+        spec,
+        result,
+        config=None,
+        perf: Optional[Mapping[str, Any]] = None,
+        provenance: Optional[Mapping[str, Any]] = None,
+    ) -> "RunArtifact":
+        """Summarize one finished run into its stored form.
+
+        Args:
+            spec: The :class:`~repro.scenario.ScenarioSpec` that ran.
+            result: Its :class:`~repro.experiments.system.RunResult`.
+            config: The :class:`~repro.config.SystemConfig` actually
+                used (defaults to ``spec.to_config()``; pass the
+                override when the run was driven with one).
+            perf: Optional perf counters to record.
+            provenance: Optional provenance dict to record.
+        """
+        from repro.scenario.fingerprint import stats_fingerprint
+
+        cfg = config if config is not None else spec.to_config()
+        fingerprint = stats_fingerprint(result)
+        return cls(
+            spec=spec.to_dict(),
+            config=dataclasses.asdict(cfg),
+            fingerprint=fingerprint,
+            latency={
+                "overall": latency_summary(result.latencies).as_dict(),
+                "read": latency_summary(result.read_latencies).as_dict(),
+                "write": latency_summary(result.write_latencies).as_dict(),
+            },
+            tenant_stats=copy.deepcopy(fingerprint["tenant_stats"]),
+            perf=dict(perf or {}),
+            provenance=dict(provenance or {}),
+        )
+
+    # ------------------------------------------------------------------
+    # Dict / JSON round-trip
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-data payload; :meth:`from_dict` round-trips it."""
+        return {
+            "spec": copy.deepcopy(self.spec),
+            "config": copy.deepcopy(self.config),
+            "fingerprint": copy.deepcopy(self.fingerprint),
+            "latency": copy.deepcopy(self.latency),
+            "tenant_stats": copy.deepcopy(self.tenant_stats),
+            "perf": copy.deepcopy(self.perf),
+            "provenance": copy.deepcopy(self.provenance),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RunArtifact":
+        """Rehydrate a stored payload (strict: unknown keys raise).
+
+        The latency summaries are round-tripped through
+        :meth:`LatencySummary.from_dict`, so a malformed or truncated
+        summary fails here instead of producing wrong report numbers.
+        """
+        if not isinstance(payload, Mapping):
+            raise ValueError(
+                f"run artifact: expected a mapping, got {type(payload).__name__}"
+            )
+        unknown = set(payload) - _ARTIFACT_KEYS
+        if unknown:
+            raise ValueError(f"run artifact: unknown keys {sorted(unknown)}")
+        missing = {"spec", "config", "fingerprint"} - set(payload)
+        if missing:
+            raise ValueError(f"run artifact: missing keys {sorted(missing)}")
+        latency = dict(payload.get("latency") or {})
+        unknown_sections = set(latency) - set(_LATENCY_SECTIONS)
+        if unknown_sections:
+            raise ValueError(
+                f"run artifact: unknown latency sections {sorted(unknown_sections)}"
+            )
+        for section, summary in latency.items():
+            # validates keys/types and proves the summary rehydrates exactly
+            LatencySummary.from_dict(summary)
+        return cls(
+            spec=copy.deepcopy(dict(payload["spec"])),
+            config=copy.deepcopy(dict(payload["config"])),
+            fingerprint=copy.deepcopy(dict(payload["fingerprint"])),
+            latency=copy.deepcopy(latency),
+            tenant_stats=copy.deepcopy(dict(payload.get("tenant_stats") or {})),
+            perf=copy.deepcopy(dict(payload.get("perf") or {})),
+            provenance=copy.deepcopy(dict(payload.get("provenance") or {})),
+        )
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """The scenario name this artifact stores."""
+        return self.spec.get("name", "?")
+
+    @property
+    def workload(self) -> str:
+        """Workload label (``<inline>`` for inline workload specs)."""
+        workload = self.spec.get("workload", "?")
+        return workload if isinstance(workload, str) else "<inline>"
+
+    @property
+    def scheme(self) -> str:
+        """The scheme the run used."""
+        return self.spec.get("scheme", "?")
+
+    @property
+    def completed(self) -> int:
+        """Completed application requests."""
+        return int(self.fingerprint.get("completed", 0))
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean application latency (µs)."""
+        return float(self.fingerprint.get("mean_latency", 0.0))
+
+    def latency_summaries(self) -> dict[str, LatencySummary]:
+        """The stored summaries rehydrated as :class:`LatencySummary`."""
+        return {
+            section: LatencySummary.from_dict(summary)
+            for section, summary in self.latency.items()
+        }
+
+    def summary(self) -> str:
+        """One-line human-readable view (mirrors ``RunResult.summary``)."""
+        hit_ratio = self.fingerprint.get("cache_stats", {}).get(
+            "read_hit_ratio", 0.0
+        )
+        return (
+            f"{self.name}: {self.workload}/{self.scheme}, "
+            f"{self.completed} requests, mean latency "
+            f"{self.mean_latency:.1f}µs, hit ratio {hit_ratio:.2%}"
+        )
+
+    def tenant_table(self) -> str:
+        """Fixed-width per-VM breakdown (mirrors ``RunResult.tenant_table``)."""
+        lines = [
+            f"{'vm':>4} {'completed':>10} {'mean µs':>10} {'hit ratio':>10} "
+            f"{'bypassed':>9} {'reads':>8} {'writes':>8}"
+        ]
+        for tid in sorted(self.tenant_stats, key=int):
+            ts = self.tenant_stats[tid]
+            lines.append(
+                f"{tid:>4} {ts['completed']:>10} {ts['mean_latency']:>10.1f} "
+                f"{ts['read_hit_ratio']:>10.2%} {ts['bypassed']:>9} "
+                f"{ts['reads']:>8} {ts['writes']:>8}"
+            )
+        return "\n".join(lines)
+
+    def spec_key(self) -> str:
+        """Canonical JSON of the stored scenario spec (the key input)."""
+        return _canonical(self.spec)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RunArtifact({self.name!r}, {self.workload}/{self.scheme})"

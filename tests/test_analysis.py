@@ -1,9 +1,13 @@
 """Unit tests for metrics, series, reports, and ASCII plotting."""
 
+import json
+import math
+
 import pytest
 
 from repro.analysis.ascii_plot import ascii_bar_chart, ascii_line_chart
 from repro.analysis.metrics import (
+    LatencySummary,
     latency_summary,
     load_reduction,
     mean_over_intervals,
@@ -40,9 +44,14 @@ class TestMetrics:
     def test_percentile(self):
         vals = list(range(1, 101))
         assert percentile(vals, 50) == pytest.approx(50.5)
-        assert percentile([], 50) == 0.0
         with pytest.raises(ValueError):
             percentile(vals, 101)
+
+    def test_percentile_empty_is_nan(self):
+        # an empty population has no percentiles: nan, not a fake 0.0
+        # that would read as "zero latency" in reports
+        assert math.isnan(percentile([], 50))
+        assert math.isnan(percentile([], 99))
 
     def test_latency_summary(self):
         s = latency_summary([1.0, 2.0, 3.0, 4.0])
@@ -55,6 +64,29 @@ class TestMetrics:
         s = latency_summary([])
         assert s.count == 0
         assert s.mean == 0.0
+
+    def test_latency_summary_from_dict_round_trip(self):
+        s = latency_summary([1.0, 2.0, 3.0, 4.0, 100.0])
+        assert LatencySummary.from_dict(s.as_dict()) == s
+        # exact through a JSON round-trip too (how the run store uses it)
+        assert LatencySummary.from_dict(json.loads(json.dumps(s.as_dict()))) == s
+
+    def test_latency_summary_from_dict_strict(self):
+        good = latency_summary([1.0, 2.0]).as_dict()
+        with pytest.raises(ValueError):
+            LatencySummary.from_dict("not a mapping")
+        with pytest.raises(ValueError):
+            LatencySummary.from_dict({**good, "extra": 1.0})
+        missing = dict(good)
+        missing.pop("p95")
+        with pytest.raises(ValueError):
+            LatencySummary.from_dict(missing)
+        with pytest.raises(ValueError):
+            LatencySummary.from_dict({**good, "count": 2.5})
+        with pytest.raises(ValueError):
+            LatencySummary.from_dict({**good, "count": -1})
+        with pytest.raises(ValueError):
+            LatencySummary.from_dict({**good, "mean": "fast"})
 
     def test_load_reduction(self):
         assert load_reduction([100.0] * 4, [50.0] * 4) == pytest.approx(0.5)

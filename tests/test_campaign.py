@@ -1,0 +1,374 @@
+"""Tests for the campaign layer (repro.campaign).
+
+The acceptance-critical behaviors: a killed/partial campaign resumes
+without re-simulating completed scenarios (all prior keys report as
+store hits), and ``campaign diff`` detects an injected stat change
+between two stored campaigns (and stays clean against the goldens).
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import (
+    CampaignError,
+    CampaignSpec,
+    campaign_report,
+    campaign_status,
+    diff_fingerprints,
+    load_campaign,
+    load_fingerprints,
+    run_campaign,
+    status_table,
+)
+from repro.campaign.cli import main as campaign_main
+from repro.store import RunKey, RunStore
+
+_REPO = Path(__file__).resolve().parent.parent
+_GOLDEN_PATH = _REPO / "benchmarks" / "golden" / "suite_quick.json"
+_SMOKE_CAMPAIGN = _REPO / "examples" / "campaigns" / "smoke.json"
+
+
+def tiny_campaign(store: str | None = None) -> CampaignSpec:
+    """Three fast scenarios (a scheme sweep at a 2-interval horizon)."""
+    return CampaignSpec(
+        name="tiny",
+        description="scheme sweep for tests",
+        store=store,
+        scenarios=[
+            {
+                "name": "web_sweep",
+                "workload": "web",
+                "base": "quick",
+                "horizon_intervals": 2,
+                "sweep": {"scheme": ["wb", "sib", "lbica"]},
+            }
+        ],
+    )
+
+
+class TestCampaignSpec:
+    def test_round_trip(self):
+        campaign = tiny_campaign(store="some/dir")
+        rebuilt = CampaignSpec.from_dict(
+            json.loads(json.dumps(campaign.to_dict()))
+        )
+        assert rebuilt.to_dict() == campaign.to_dict()
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(CampaignError, match="unknown keys"):
+            CampaignSpec.from_dict(
+                {"name": "x", "scenarios": ["fig4_single_vm"], "sceanrios": []}
+            )
+
+    def test_empty_and_malformed_rejected(self):
+        with pytest.raises(CampaignError, match="non-empty"):
+            CampaignSpec(name="x", scenarios=[]).validate()
+        with pytest.raises(CampaignError, match="jobs"):
+            CampaignSpec(
+                name="x", scenarios=["fig4_single_vm"], jobs=0
+            ).validate()
+        with pytest.raises(CampaignError, match="scenarios\\[0\\]"):
+            CampaignSpec(name="x", scenarios=["no_such_scenario"]).validate()
+
+    def test_duplicate_expanded_names_rejected(self):
+        with pytest.raises(CampaignError, match="duplicate"):
+            CampaignSpec(
+                name="x", scenarios=["fig4_single_vm", "fig4_single_vm"]
+            ).validate()
+
+    def test_expand_mixes_registry_and_inline(self):
+        campaign = CampaignSpec(
+            name="mix",
+            scenarios=[
+                "fig4_single_vm",
+                {"name": "inline", "workload": "web", "base": "quick"},
+            ],
+        )
+        names = [spec.name for spec in campaign.expand()]
+        assert names == ["fig4_single_vm", "inline"]
+
+    def test_load_campaign_reports_path(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{broken")
+        with pytest.raises(CampaignError, match="bad.json"):
+            load_campaign(bad)
+
+    def test_example_campaign_file_is_valid(self):
+        campaign = load_campaign(_SMOKE_CAMPAIGN)
+        assert len(campaign.expand()) == 4
+
+
+class TestRunAndResume:
+    def test_first_run_simulates_second_run_all_hits(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        campaign = tiny_campaign()
+        first = run_campaign(campaign, store, verbose=False)
+        assert len(first.simulated) == 3 and first.hits == []
+        second = run_campaign(campaign, store, verbose=False)
+        assert len(second.hits) == 3 and second.simulated == []
+        assert "3 store hits, 0 simulated" in second.summary()
+        assert set(second.artifacts) == set(first.artifacts)
+
+    def test_resume_after_kill_skips_completed_shards(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        campaign = tiny_campaign()
+        run_campaign(campaign, store, verbose=False)
+        # emulate a kill that lost the last scenario's artifact: resuming
+        # must re-simulate exactly that one and report the rest as hits
+        specs = campaign.expand()
+        store.path_for(RunKey.for_spec(specs[-1])).unlink()
+        resumed = run_campaign(campaign, store, verbose=False)
+        assert sorted(resumed.hits) == sorted(s.name for s in specs[:-1])
+        assert resumed.simulated == [specs[-1].name]
+
+    def test_corrupt_artifact_heals_on_resume(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        campaign = tiny_campaign()
+        first = run_campaign(campaign, store, verbose=False)
+        spec = campaign.expand()[0]
+        store.path_for(RunKey.for_spec(spec)).write_text("{truncated")
+        healed = run_campaign(campaign, store, verbose=False)
+        assert healed.simulated == [spec.name]
+        assert spec.name in healed.healed
+        assert (
+            healed.artifacts[spec.name].fingerprint
+            == first.artifacts[spec.name].fingerprint
+        )
+
+    def test_parallel_campaign_matches_serial(self, tmp_path):
+        serial = run_campaign(
+            tiny_campaign(), RunStore(tmp_path / "a"), jobs=1, verbose=False
+        )
+        parallel = run_campaign(
+            tiny_campaign(), RunStore(tmp_path / "b"), jobs=2, verbose=False
+        )
+        assert {
+            name: art.fingerprint for name, art in serial.artifacts.items()
+        } == {name: art.fingerprint for name, art in parallel.artifacts.items()}
+
+    def test_sharding_persists_progressively(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        run = run_campaign(
+            tiny_campaign(), store, shard_size=1, verbose=False
+        )
+        assert len(run.simulated) == 3
+        assert len(store.digests()) == 3
+
+
+class TestStatusAndReport:
+    def test_status_states(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        campaign = tiny_campaign()
+        assert {s.state for s in campaign_status(campaign, store)} == {"missing"}
+        run_campaign(campaign, store, verbose=False)
+        statuses = campaign_status(campaign, store)
+        assert {s.state for s in statuses} == {"stored"}
+        store.path_for(statuses[0].digest).write_text("{bad")
+        states = [s.state for s in campaign_status(campaign, store)]
+        assert states.count("corrupt") == 1 and states.count("stored") == 2
+        table = status_table(campaign_status(campaign, store))
+        assert "corrupt" in table and "web_sweep[scheme=wb]" in table
+
+    def test_report_lists_stored_and_pending(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        campaign = tiny_campaign()
+        text = campaign_report(campaign, store)
+        assert "0 stored" in text and "web_sweep[scheme=wb]" in text
+        run_campaign(campaign, store, verbose=False)
+        text = campaign_report(campaign, store)
+        assert "3 stored" in text and "mean µs" in text
+
+
+class TestDiff:
+    def _stored_campaign(self, root) -> RunStore:
+        store = RunStore(root)
+        run_campaign(tiny_campaign(), store, verbose=False)
+        return store
+
+    def test_identical_campaigns_diff_clean(self, tmp_path):
+        store = self._stored_campaign(tmp_path / "a")
+        diff = diff_fingerprints(
+            load_fingerprints(store), load_fingerprints(store)
+        )
+        assert diff.clean and len(diff.identical) == 3
+
+    def test_injected_stat_change_detected(self, tmp_path):
+        store_a = self._stored_campaign(tmp_path / "a")
+        shutil.copytree(tmp_path / "a", tmp_path / "b")
+        store_b = RunStore(tmp_path / "b")
+        victim = store_b.digests()[0]
+        artifact = store_b.get(victim)
+        artifact.fingerprint["mean_latency"] *= 1.05
+        artifact.fingerprint["completed"] += 1
+        assert store_b.put(artifact) == victim  # stats are not key inputs
+        diff = diff_fingerprints(
+            load_fingerprints(store_a), load_fingerprints(store_b)
+        )
+        assert not diff.clean
+        (name,) = diff.deltas
+        verdicts = {d.metric: d.verdict for d in diff.deltas[name]}
+        assert verdicts["completed"] == "DIVERGES"
+        assert verdicts["mean_latency"].startswith("REGRESSED")
+        assert diff.regressions
+        rendered = diff.render()
+        assert "REGRESSED" in rendered and name in rendered
+
+    def test_tolerance_suppresses_small_numeric_drift(self, tmp_path):
+        store_a = self._stored_campaign(tmp_path / "a")
+        fingerprints = load_fingerprints(store_a)
+        drifted = json.loads(json.dumps(fingerprints))
+        name = next(iter(drifted))
+        drifted[name]["mean_latency"] *= 1.0001
+        assert not diff_fingerprints(fingerprints, drifted).clean
+        assert diff_fingerprints(fingerprints, drifted, tolerance=0.01).clean
+
+    def test_diff_against_golden_file(self, tmp_path):
+        fingerprints = load_fingerprints(_GOLDEN_PATH)
+        # grid entries flatten to name/sub
+        assert "grid_fanout/tpcc/lbica" in fingerprints
+        diff = diff_fingerprints(fingerprints, fingerprints)
+        assert diff.clean
+
+    def test_store_with_ambiguous_names_needs_campaign(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        campaign = tiny_campaign()
+        run_campaign(campaign, store, verbose=False)
+        # same scenario names, different config → second set of keys
+        seeded = CampaignSpec.from_dict(
+            {
+                "name": "tiny-seed8",
+                "scenarios": [
+                    {
+                        "name": "web_sweep",
+                        "workload": "web",
+                        "base": "quick",
+                        "horizon_intervals": 2,
+                        "system": {"seed": 8},
+                        "sweep": {"scheme": ["wb", "sib", "lbica"]},
+                    }
+                ],
+            }
+        )
+        run_campaign(seeded, store, verbose=False)
+        with pytest.raises(ValueError, match="several keys"):
+            load_fingerprints(store)
+        scoped = load_fingerprints(store, campaign=campaign)
+        assert len(scoped) == 3
+
+
+class TestCli:
+    def test_run_status_report_diff_flow(self, tmp_path, capsys):
+        campaign_path = tmp_path / "tiny.json"
+        campaign_path.write_text(tiny_campaign().to_json())
+        store_dir = str(tmp_path / "store")
+
+        assert campaign_main(
+            ["run", str(campaign_path), "--store", store_dir, "--quiet"]
+        ) == 0
+        assert "3 scenarios — 0 store hits, 3 simulated" in capsys.readouterr().out
+
+        assert campaign_main(
+            ["run", str(campaign_path), "--store", store_dir, "--quiet"]
+        ) == 0
+        assert "3 store hits, 0 simulated" in capsys.readouterr().out
+
+        assert campaign_main(
+            ["status", str(campaign_path), "--store", store_dir]
+        ) == 0
+        assert "3/3 stored" in capsys.readouterr().out
+
+        report_path = tmp_path / "report.md"
+        assert campaign_main(
+            [
+                "report",
+                str(campaign_path),
+                "--store",
+                store_dir,
+                "--out",
+                str(report_path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert "# Campaign `tiny`" in report_path.read_text()
+
+        assert campaign_main(["diff", store_dir, store_dir]) == 0
+        assert "3 identical" in capsys.readouterr().out
+
+    def test_diff_exit_code_on_divergence(self, tmp_path, capsys):
+        campaign_path = tmp_path / "tiny.json"
+        campaign_path.write_text(tiny_campaign().to_json())
+        store_a = str(tmp_path / "a")
+        campaign_main(["run", str(campaign_path), "--store", store_a, "--quiet"])
+        shutil.copytree(store_a, tmp_path / "b")
+        store_b = RunStore(tmp_path / "b")
+        artifact = store_b.get(store_b.digests()[0])
+        artifact.fingerprint["events_processed"] += 7
+        store_b.put(artifact)
+        capsys.readouterr()
+        assert campaign_main(["diff", store_a, str(tmp_path / "b")]) == 1
+        assert "DIVERGES" in capsys.readouterr().out
+
+    def test_missing_store_is_an_error(self, tmp_path, capsys):
+        campaign_path = tmp_path / "tiny.json"
+        campaign_path.write_text(tiny_campaign().to_json())
+        assert campaign_main(["run", str(campaign_path), "--quiet"]) == 2
+        assert "names no store" in capsys.readouterr().err
+
+    def test_campaign_store_field_used_as_default(self, tmp_path, capsys):
+        campaign_path = tmp_path / "tiny.json"
+        campaign_path.write_text(
+            tiny_campaign(store=str(tmp_path / "default-store")).to_json()
+        )
+        assert campaign_main(["run", str(campaign_path), "--quiet"]) == 0
+        capsys.readouterr()
+        assert (tmp_path / "default-store" / "runs").is_dir()
+
+    def test_experiments_cli_delegates_campaign(self, tmp_path, capsys):
+        from repro.experiments.cli import main as experiments_main
+
+        campaign_path = tmp_path / "tiny.json"
+        campaign_path.write_text(tiny_campaign().to_json())
+        code = experiments_main(
+            ["campaign", "run", str(campaign_path), "--store",
+             str(tmp_path / "store"), "--quiet"]
+        )
+        assert code == 0
+        assert "3 simulated" in capsys.readouterr().out
+
+
+class TestSmokeJobs:
+    def test_parallel_smoke_matches_serial(self, tmp_path):
+        from repro.scenario.smoke import run_smoke
+
+        scenario = tmp_path / "s.json"
+        scenario.write_text(
+            json.dumps(
+                {
+                    "name": "smoke_sweep",
+                    "workload": "web",
+                    "base": "quick",
+                    "sweep": {"scheme": ["wb", "lbica"]},
+                }
+            )
+        )
+        broken = tmp_path / "broken.json"
+        broken.write_text("{not json")
+        serial = run_smoke([scenario, broken], horizon_intervals=2, verbose=False)
+        parallel = run_smoke(
+            [scenario, broken], horizon_intervals=2, verbose=False, jobs=2
+        )
+        assert serial == parallel
+        assert str(broken) in serial["errors"]
+        assert len(serial["files"][str(scenario)]) == 2
+
+    def test_jobs_validation(self):
+        from repro.scenario.smoke import main, run_smoke
+
+        with pytest.raises(ValueError):
+            run_smoke([], jobs=0)
+        assert main(["--jobs", "0", "whatever.json"]) == 2
