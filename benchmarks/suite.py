@@ -18,6 +18,10 @@ Scenarios:
   shared cache under LBICA.
 - ``bootstorm_neighbors`` — a VM boot storm landing beside a steady web
   server, under LBICA.
+- ``consolidated3_partition`` — the three-VM scenario with statically
+  partitioned fair cache shares.
+- ``consolidated3_dynshare`` — the three-VM scenario under the
+  efficiency-aware dynamic share allocator.
 - ``grid_fanout`` — the full 3×3 (workload × scheme) grid through
   ``run_grid(max_workers=N)``, exercising the parallel process fan-out.
 
@@ -138,6 +142,12 @@ SCENARIOS: dict[
     ),
     "bootstorm_neighbors": lambda cfg, jobs, store=None: _run_single(
         "bootstorm_neighbors", cfg, store
+    ),
+    "consolidated3_partition": lambda cfg, jobs, store=None: _run_single(
+        "consolidated3_partition", cfg, store
+    ),
+    "consolidated3_dynshare": lambda cfg, jobs, store=None: _run_single(
+        "consolidated3_dynshare", cfg, store
     ),
     "grid_fanout": _run_grid_fanout,
 }

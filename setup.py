@@ -1,9 +1,11 @@
 """Legacy setup shim.
 
 The execution environment ships a setuptools without wheel/PEP-660
-support, so editable installs go through this classic ``setup.py`` (all
-metadata lives in ``pyproject.toml``; values are duplicated here only to
-keep ``pip install -e .`` working offline).
+support, so installs go through this classic ``setup.py`` (use
+``python setup.py develop`` for an offline editable install; plain
+``pip install -e .`` needs the wheel package).  Package metadata lives
+here; ``pyproject.toml`` carries tooling configuration (ruff) only, so
+the two never conflict.
 """
 
 from setuptools import find_packages, setup
@@ -15,7 +17,7 @@ setup(
         "LBICA: A Load Balancer for I/O Cache Architectures (DATE 2019) — "
         "full trace-driven reproduction"
     ),
-    python_requires=">=3.11",
+    python_requires=">=3.10",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     install_requires=["numpy"],

@@ -13,6 +13,11 @@ discrete-event simulation:
   four synthetic characterization groups;
 - :mod:`repro.core` — **LBICA** itself (detect → characterize → balance);
 - :mod:`repro.baselines` — the WB and SIB comparison schemes;
+- :mod:`repro.schemes` — the pluggable scheme layer: the
+  :class:`~repro.schemes.Scheme` ABC and registry (``wb`` / ``sib`` /
+  ``lbica`` plus the ``partition`` and ``dynshare`` capacity
+  allocators; register your own with
+  :func:`~repro.schemes.register_scheme`);
 - :mod:`repro.analysis` — metrics, series, ASCII plots, reports;
 - :mod:`repro.experiments` — one harness per paper figure (4, 5, 6, 7)
   plus headline numbers and ablations;
@@ -49,6 +54,7 @@ from repro.core import (
 )
 from repro.experiments.system import ExperimentSystem, RunResult
 from repro.scenario import ScenarioSpec, load_scenario
+from repro.schemes import Scheme, register_scheme, scheme_names
 from repro.store import RunArtifact, RunKey, RunStore
 from repro.campaign import CampaignSpec, load_campaign, run_campaign
 
@@ -63,6 +69,9 @@ __all__ = [
     "LbicaConfig",
     "ExperimentSystem",
     "RunResult",
+    "Scheme",
+    "register_scheme",
+    "scheme_names",
     "ScenarioSpec",
     "load_scenario",
     "RunStore",

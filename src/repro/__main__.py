@@ -18,6 +18,9 @@ usage: repro <command> ...
 commands:
   campaign     run / status / report / diff persistent experiment campaigns
   experiments  regenerate paper figures (same as `lbica-experiments`)
+
+flags (forwarded to `experiments`):
+  --list-schemes / --list-workloads / --list-scenarios
 """
 
 
@@ -27,6 +30,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if not args or args[0] in ("-h", "--help"):
         print(_USAGE)
         return 0 if args else 2
+    if args[0].startswith("-"):
+        # `repro --list-schemes` and friends: bare flags go to the
+        # experiments CLI, which owns all the listing options
+        from repro.experiments.cli import main as experiments_main
+
+        return experiments_main(args)
     command, rest = args[0], args[1:]
     if command == "campaign":
         from repro.campaign.cli import main as campaign_main

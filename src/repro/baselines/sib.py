@@ -29,6 +29,8 @@ from dataclasses import dataclass
 from repro.cache.controller import CacheController
 from repro.cache.write_policy import WritePolicy
 from repro.devices.base import StorageDevice
+from repro.schemes.base import Scheme
+from repro.schemes.registry import register_scheme
 
 __all__ = ["SibConfig", "SibController", "SibRound"]
 
@@ -85,7 +87,7 @@ class SibRound:
     bypassed: int
 
 
-class SibController:
+class SibController(Scheme):
     """Runs SIB's estimate-and-bypass loop on a simulated system.
 
     The cache controller must be configured in SIB's WT+WO hybrid mode
@@ -94,6 +96,14 @@ class SibController:
     """
 
     name = "sib"
+    description = (
+        "Selective I/O Bypass (Kim et al., IEEE TC 2018): write-through "
+        "cache with wait-time-estimated tail bypass."
+    )
+    config_cls = SibConfig
+    config_field = "sib"
+    paper_baseline = True
+    registry_order = 1
 
     def __init__(
         self,
@@ -112,6 +122,23 @@ class SibController:
         self.rounds: list[SibRound] = []
         self.total_overhead_us = 0.0
         self._started = False
+
+    @classmethod
+    def from_system(cls, system) -> "SibController":
+        return cls(
+            system.sim, system.controller, system.ssd, system.hdd, system.config.sib
+        ).attach(system)
+
+    def decision_log(self) -> list:
+        """The balancing rounds (one :class:`SibRound` per action)."""
+        return self.rounds
+
+    def summary_stats(self) -> dict:
+        return {
+            "rounds": len(self.rounds),
+            "bypassed": self.total_bypassed,
+            "overhead_us": self.total_overhead_us,
+        }
 
     def configure_cache(self) -> None:
         """Pin the cache to SIB's fixed write-through mode."""
@@ -175,3 +202,6 @@ class SibController:
             f"SibController(rounds={len(self.rounds)}, "
             f"bypassed={self.total_bypassed}, overhead={self.total_overhead_us:.0f}µs)"
         )
+
+
+register_scheme(SibController)

@@ -7,26 +7,41 @@ watches the queues, so during bursts the SSD queue grows without bound
 bottleneck — the pathology Figures 4 and 7 quantify.
 
 There is nothing to *do* for this scheme; the class exists so the
-experiment runner can treat all three schemes uniformly (construct,
-``start()``, inspect after the run).
+experiment runner can treat every registered scheme uniformly
+(construct, ``start()``, inspect after the run).
 """
 
 from __future__ import annotations
 
+from repro.schemes.base import Scheme
+from repro.schemes.registry import register_scheme
+
 __all__ = ["WbBaseline"]
 
 
-class WbBaseline:
+class WbBaseline(Scheme):
     """A no-op load balancer (plain WB cache)."""
 
     name = "wb"
+    description = "Unbalanced write-back cache (EnhanceIO WB mode, no balancer)."
+    paper_baseline = True
+    registry_order = 0
 
     def __init__(self, sim=None, controller=None, ssd=None, hdd=None) -> None:
         self.sim = sim
         self.controller = controller
+        self.config = None
+        self.decisions: list = []
+
+    @classmethod
+    def from_system(cls, system) -> "WbBaseline":
+        return cls(system.sim, system.controller).attach(system)
 
     def start(self) -> None:
         """No periodic activity."""
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "WbBaseline()"
+
+
+register_scheme(WbBaseline)

@@ -132,6 +132,12 @@ class CacheController:
         self.hdd = hdd
         self.store = store
         self.stats = CacheStats()
+        #: Optional per-tenant capacity allocator (the
+        #: :class:`~repro.schemes.base.CacheAllocator` protocol) a
+        #: capacity-partitioning scheme installs.  ``None`` (the
+        #: default) skips every allocator call site, keeping the shared
+        #: datapath bit-identical to an allocator-free build.
+        self.allocator = None
         self._completion_hooks: list[Callable[[Request], None]] = []
         self._flushing: set[int] = set()
         self._behavior = behavior_for(policy)
@@ -247,13 +253,27 @@ class CacheController:
     def _miss_read_done(self, op: DeviceOp) -> None:
         """A miss read returned from the disk: maybe promote, then complete."""
         if self._behavior.promote_on_miss:
-            self._promote(op.lba)
+            allocator = self.allocator
+            if allocator is None:
+                self._promote(op.lba)
+            else:
+                request = op.request
+                tenant_id = request.tenant_id if request is not None else 0
+                if allocator.admit(tenant_id, op.lba):
+                    self._promote(op.lba, tenant_id)
+                # denied: the tenant's cache share is exhausted — the
+                # block is served from the disk and simply not promoted
         self._sync_done(op)
 
-    def _promote(self, lba: int) -> None:
+    def _promote(self, lba: int, tenant_id: int = 0) -> None:
         """Insert ``lba`` and issue the asynchronous promotion write (P)."""
         now = self.sim.now
         _, eviction = self.store.insert(lba, now, dirty=False)
+        allocator = self.allocator
+        if allocator is not None:
+            allocator.note_insert(tenant_id, lba)
+            if eviction is not None:
+                allocator.note_remove(eviction.lba)
         if eviction is not None and eviction.was_dirty:
             self._flush_evicted(eviction.lba)
         self.stats.promotes_issued += 1
@@ -286,12 +306,15 @@ class CacheController:
         cache_writes = behavior.cache_writes
         writes_through = behavior.writes_through
         writes_dirty = behavior.writes_dirty
+        allocator = self.allocator
+        tenant_id = request.tenant_id
         for lba in range(request.lba, request.end_lba):
             stats.write_blocks += 1
             if invalidate_on_write:
                 # RO: the write supersedes any cached copy; the new data
                 # goes straight to the disk.
-                store.invalidate(lba)
+                if store.invalidate(lba) and allocator is not None:
+                    allocator.note_remove(lba)
                 stats.writes_bypassed += 1
                 op = DeviceOp(
                     lba, 1, True, write_tag, request, True, False, sync_done
@@ -302,7 +325,22 @@ class CacheController:
                 continue
 
             if cache_writes:
+                if allocator is not None and not allocator.admit(tenant_id, lba):
+                    # The tenant's cache share is exhausted: write around
+                    # the cache straight to the disk (soft partitioning).
+                    stats.writes_bypassed += 1
+                    op = DeviceOp(
+                        lba, 1, True, write_tag, request, True, False, sync_done
+                    )
+                    add_wait()
+                    served_by.add(hdd.name)
+                    hdd.submit(op)
+                    continue
                 _, eviction = store.insert(lba, now, dirty=writes_dirty)
+                if allocator is not None:
+                    allocator.note_insert(tenant_id, lba)
+                    if eviction is not None:
+                        allocator.note_remove(eviction.lba)
                 if eviction is not None and eviction.was_dirty:
                     self._flush_evicted(eviction.lba)
                 op = DeviceOp(
@@ -429,17 +467,20 @@ class CacheController:
         - ``P``: the promotion is simply cancelled (nobody waits on it)
           and the speculative metadata insertion undone.
         """
+        allocator = self.allocator
         if op.tag is OpTag.PROMOTE:
             self.stats.promotes_cancelled += 1 + len(op.merged)
             for child in (op, *op.merged):
                 for lba in range(child.lba, child.end_lba):
-                    self.store.invalidate(lba)
+                    if self.store.invalidate(lba) and allocator is not None:
+                        allocator.note_remove(lba)
             return
         if op.tag is OpTag.WRITE:
             self.stats.writes_bypassed += 1 + len(op.merged)
             for child in (op, *op.merged):
                 for lba in range(child.lba, child.end_lba):
-                    self.store.invalidate(lba)
+                    if self.store.invalidate(lba) and allocator is not None:
+                        allocator.note_remove(lba)
                 if child.request is not None:
                     child.request.bypassed = True
                     child.request.served_by.add(self.hdd.name)

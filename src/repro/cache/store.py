@@ -8,7 +8,7 @@ into device operations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from repro.cache.block import CacheBlock

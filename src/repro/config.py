@@ -21,6 +21,8 @@ from repro.core.lbica import LbicaConfig
 from repro.devices.hdd import HddConfig
 from repro.devices.presets import HDD_PRESET, SSD_PRESET
 from repro.devices.ssd import SsdConfig
+from repro.schemes.dynshare import DynShareConfig
+from repro.schemes.partition import PartitionConfig
 
 __all__ = ["SystemConfig", "paper_config", "quick_config"]
 
@@ -47,6 +49,10 @@ class SystemConfig:
         writeback: Background flusher tuning.
         lbica: LBICA controller tuning.
         sib: SIB baseline tuning.
+        partition: Static per-VM cache-partitioning tuning (the
+            ``partition`` scheme).
+        dynshare: Dynamic share-allocator tuning (the ``dynshare``
+            scheme).
         rate_scale: Multiplier applied to workload arrival rates.
         max_outstanding: Application concurrency bound (backpressure).
         drain_intervals: Extra intervals simulated after the workload
@@ -67,6 +73,8 @@ class SystemConfig:
     writeback: WritebackConfig = field(default_factory=WritebackConfig)
     lbica: LbicaConfig = field(default_factory=LbicaConfig)
     sib: SibConfig = field(default_factory=SibConfig)
+    partition: PartitionConfig = field(default_factory=PartitionConfig)
+    dynshare: DynShareConfig = field(default_factory=DynShareConfig)
     rate_scale: float = 1.0
     max_outstanding: int = 256
     drain_intervals: int = 0
@@ -78,6 +86,17 @@ class SystemConfig:
             self.lbica = replace(self.lbica, decision_interval_us=self.interval_us)
         if self.sib.check_interval_us != self.interval_us / 4.0:
             self.sib = replace(self.sib, check_interval_us=self.interval_us / 4.0)
+        # The capacity-allocation schemes tick at the monitoring interval
+        # too (dynshare decides, partition only observes).
+        if self.dynshare.decision_interval_us != self.interval_us:
+            self.dynshare = replace(
+                self.dynshare, decision_interval_us=self.interval_us
+            )
+        if self.partition.report_interval_us not in (0.0, self.interval_us):
+            # 0 stays 0: it means "no periodic occupancy log".
+            self.partition = replace(
+                self.partition, report_interval_us=self.interval_us
+            )
 
     def validate(self) -> None:
         """Raise ``ValueError`` on inconsistent parameters."""
@@ -96,6 +115,8 @@ class SystemConfig:
         self.writeback.validate()
         self.lbica.validate()
         self.sib.validate()
+        self.partition.validate()
+        self.dynshare.validate()
 
     def scaled(self, rate_scale: float) -> "SystemConfig":
         """A copy with arrival rates scaled (devices unchanged)."""

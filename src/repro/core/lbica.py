@@ -32,6 +32,8 @@ from repro.core.characterization import (
 from repro.core.policy_table import PolicyAction, default_policy_table
 from repro.devices.base import StorageDevice
 from repro.io.request import OpTag
+from repro.schemes.base import Scheme
+from repro.schemes.registry import register_scheme
 from repro.trace.blktrace import BlkTracer
 
 __all__ = ["LbicaConfig", "LbicaDecision", "LbicaController"]
@@ -107,8 +109,18 @@ class LbicaDecision:
     bypassed: int
 
 
-class LbicaController:
+class LbicaController(Scheme):
     """Runs LBICA's control loop on a simulated system."""
+
+    name = "lbica"
+    description = (
+        "LBICA (Ahmadian et al., DATE 2019): bottleneck detection, "
+        "workload characterization, and policy assignment per interval."
+    )
+    config_cls = LbicaConfig
+    config_field = "lbica"
+    paper_baseline = True
+    registry_order = 2
 
     def __init__(
         self,
@@ -141,6 +153,24 @@ class LbicaController:
         self._group_streak: tuple[Optional[WorkloadGroup], int] = (None, 0)
         self._prev_ssd_qsize = 0
         self._started = False
+
+    @classmethod
+    def from_system(cls, system) -> "LbicaController":
+        return cls(
+            system.sim,
+            system.controller,
+            system.ssd,
+            system.hdd,
+            system.tracer,
+            system.config.lbica,
+        ).attach(system)
+
+    def summary_stats(self) -> dict:
+        return {
+            "decisions": len(self.decisions),
+            "bursts": len(self.burst_intervals),
+            "policy_assignments": len(self.policy_timeline),
+        }
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -267,3 +297,6 @@ class LbicaController:
             f"LbicaController(decisions={len(self.decisions)}, "
             f"bursts={len(self.burst_intervals)})"
         )
+
+
+register_scheme(LbicaController)

@@ -11,6 +11,8 @@ Examples::
     lbica-experiments fig7 --vms tpcc web  # ad-hoc consolidation of 2 VMs
     lbica-experiments --list-workloads     # registered workloads + one-liners
     lbica-experiments --list-scenarios     # registered scenario specs
+    lbica-experiments --list-schemes       # registered allocation schemes
+    lbica-experiments schemes --quick      # 5-scheme latency/hit-ratio table
     lbica-experiments --scenario examples/scenarios/consolidated3.json
     lbica-experiments --dump-scenario consolidated3 > my_scenario.json
     lbica-experiments campaign run examples/campaigns/smoke.json \
@@ -37,6 +39,7 @@ from repro.experiments.fig7 import generate_fig7
 from repro.experiments.figures import save_figure_artifacts
 from repro.experiments.headline import generate_headline
 from repro.experiments.runner import PAPER_WORKLOADS, ExperimentRunner, run_spec_grid
+from repro.experiments.scheme_compare import generate_scheme_compare
 from repro.experiments.system import (
     SCHEMES,
     register_consolidation,
@@ -49,6 +52,7 @@ from repro.scenario import (
     scenario_descriptions,
     stats_fingerprint,
 )
+from repro.schemes import scheme_descriptions, scheme_names
 
 __all__ = ["main", "build_parser"]
 
@@ -69,8 +73,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "target",
         nargs="?",
-        choices=[*sorted(_FIGURES), "headline", "ablation", "all"],
-        help="which figure/report to regenerate",
+        choices=[*sorted(_FIGURES), "headline", "ablation", "schemes", "all"],
+        help=(
+            "which figure/report to regenerate ('schemes' compares every "
+            "registered scheme, not just the paper trio)"
+        ),
     )
     parser.add_argument(
         "--list-workloads",
@@ -81,6 +88,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-scenarios",
         action="store_true",
         help="print every registered scenario with its one-line description and exit",
+    )
+    parser.add_argument(
+        "--list-schemes",
+        action="store_true",
+        help="print every registered scheme with its one-line description and exit",
     )
     parser.add_argument(
         "--scenario",
@@ -199,6 +211,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.list_scenarios:
         _print_descriptions(scenario_descriptions())
         return 0
+    if args.list_schemes:
+        _print_descriptions(scheme_descriptions())
+        return 0
     if args.jobs < 1:
         print("--jobs must be >= 1", file=sys.stderr)
         return 2
@@ -246,10 +261,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(str(exc), file=sys.stderr)
         return 2
     if args.jobs > 1 and args.target != "ablation":
-        # pre-simulate the grid in parallel; figures and the headline
-        # report then read the memo cache (ablation builds its own
-        # systems and never consults the runner)
-        runner.run_many(workloads, SCHEMES, max_workers=args.jobs)
+        # pre-simulate the grid in parallel; figures and the reports
+        # then read the memo cache (ablation builds its own systems and
+        # never consults the runner).  The scheme comparison spans the
+        # whole registry, not just the paper trio.
+        grid_schemes = scheme_names() if args.target == "schemes" else SCHEMES
+        runner.run_many(workloads, grid_schemes, max_workers=args.jobs)
 
     targets = sorted(_FIGURES) if args.target == "all" else [args.target]
     if args.target == "all":
@@ -261,6 +278,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             report = generate_headline(runner, workloads)
             print(report.table())
             failed = failed or not report.all_directions_hold
+            continue
+        if target == "schemes":
+            comparison = generate_scheme_compare(runner, workloads)
+            print(comparison.table())
+            print()
+            print(comparison.checks_table())
+            failed = failed or not comparison.all_passed
             continue
         if target == "ablation":
             result = run_ablations(workloads[0], config)

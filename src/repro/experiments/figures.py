@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Mapping, Optional
+from typing import Optional
 
 from repro.analysis.series import IntervalSeries, write_series_csv
 

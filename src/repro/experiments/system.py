@@ -2,10 +2,12 @@
 
 :class:`ExperimentSystem` wires the full stack together — simulator,
 seeded RNG streams, SSD/HDD devices, cache store and controller,
-writeback flusher, iostat monitor, blktrace tracer, the workload, and one
-of the three schemes (``wb`` / ``sib`` / ``lbica``) — runs it to the end
-of the workload script, and collects a :class:`RunResult` holding
-everything the figure generators need.
+writeback flusher, iostat monitor, blktrace tracer, the workload, and
+one registered :class:`~repro.schemes.base.Scheme` (resolved through
+:mod:`repro.schemes.registry` — the paper's ``wb`` / ``sib`` / ``lbica``
+trio plus any registered competitor) — runs it to the end of the
+workload script, and collects a :class:`RunResult` holding everything
+the figure generators need.
 """
 
 from __future__ import annotations
@@ -14,7 +16,6 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.baselines.sib import SibController
-from repro.baselines.wb import WbBaseline
 from repro.cache.controller import CacheController, PolicyChange
 from repro.cache.store import CacheStore
 from repro.cache.write_policy import WritePolicy
@@ -27,6 +28,7 @@ from repro.devices.hdd import HddModel
 from repro.devices.ssd import SsdModel
 from repro.io.device_queue import DeviceQueue
 from repro.io.request import Request
+from repro.schemes import Scheme, get_scheme, paper_schemes
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
 from repro.trace.blktrace import BlkTracer
@@ -59,8 +61,13 @@ __all__ = [
     "workload_descriptions",
 ]
 
-#: The comparison schemes of the paper's evaluation.
-SCHEMES = ("wb", "sib", "lbica")
+#: The comparison schemes of the paper's evaluation — derived from the
+#: scheme registry's ``paper_baseline`` flags (importing
+#: :mod:`repro.schemes` above registered the builtins).  This is the
+#: trio the default figure grids iterate; the full registered set —
+#: including the capacity-allocation competitors — is
+#: :func:`repro.schemes.scheme_names`.
+SCHEMES = paper_schemes()
 
 
 def _random_read(interval_us, cache_blocks, rate_scale, max_outstanding):
@@ -243,6 +250,12 @@ class RunResult:
     sib_rounds: int = 0
     sib_overhead_us: float = 0.0
     events_processed: int = 0
+    #: The scheme's own decision log (``Scheme.decision_log()`` — one
+    #: record per control-loop evaluation, scheme-specific type).  For
+    #: lbica this aliases :attr:`lbica_decisions`.
+    scheme_decisions: list = field(default_factory=list)
+    #: Scheme-specific summary counters (``Scheme.summary_stats()``).
+    scheme_stats: dict = field(default_factory=dict)
     #: Per-VM latency populations, keyed by ``tenant_id`` (single-tenant
     #: runs have everything under tenant 0).
     tenant_latencies: dict[int, list[float]] = field(default_factory=dict)
@@ -315,8 +328,9 @@ class ExperimentSystem:
         scheme: str,
         config: SystemConfig,
     ) -> None:
-        if scheme not in SCHEMES:
-            raise ValueError(f"unknown scheme {scheme!r}; choose from {SCHEMES}")
+        # Resolve up front so an unknown name fails before any wiring —
+        # the error names the registry and lists what *is* registered.
+        scheme_cls = get_scheme(scheme)
         config.validate()
         self.config = config
         self.scheme = scheme
@@ -365,17 +379,10 @@ class ExperimentSystem:
         )
         self.flusher = WritebackFlusher(self.sim, self.controller, config.writeback)
 
-        self.balancer: WbBaseline | SibController | LbicaController
-        if scheme == "wb":
-            self.balancer = WbBaseline(self.sim, self.controller)
-        elif scheme == "sib":
-            self.balancer = SibController(
-                self.sim, self.controller, self.ssd, self.hdd, config.sib
-            )
-        else:
-            self.balancer = LbicaController(
-                self.sim, self.controller, self.ssd, self.hdd, self.tracer, config.lbica
-            )
+        # The registry owns construction: each scheme's ``from_system``
+        # builds against the wired stack and attaches (installing any
+        # datapath hooks it needs, e.g. a cache allocator).
+        self.balancer: Scheme = scheme_cls.from_system(self)
 
         # request accounting
         self._latencies: list[float] = []
@@ -533,6 +540,8 @@ class ExperimentSystem:
             lbica_decisions=lbica_decisions,
             sib_rounds=sib_rounds,
             sib_overhead_us=sib_overhead,
+            scheme_decisions=list(self.balancer.decision_log()),
+            scheme_stats=self.balancer.summary_stats(),
             events_processed=self.sim.events_processed,
             tenant_latencies={
                 tid: list(lats)

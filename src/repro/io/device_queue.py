@@ -23,7 +23,7 @@ from collections import Counter, deque
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional
 
-from repro.io.request import DeviceOp, OpTag
+from repro.io.request import DeviceOp
 
 __all__ = ["DeviceQueue", "QueueStats"]
 

@@ -108,6 +108,36 @@ def _register_builtins() -> None:
             },
         ),
         ScenarioSpec(
+            name="consolidated3_partition",
+            workload="consolidated3",
+            scheme="partition",
+            description=(
+                "Three VMs with statically partitioned fair shares of the "
+                "cache (the noisy-neighbour-proof baseline)."
+            ),
+        ),
+        ScenarioSpec(
+            name="consolidated3_dynshare",
+            workload="consolidated3",
+            scheme="dynshare",
+            description=(
+                "Three VMs under the efficiency-aware dynamic share "
+                "allocator (shares follow observed hit-ratio curves)."
+            ),
+        ),
+        ScenarioSpec(
+            name="scheme_matrix",
+            workload="consolidated3",
+            scheme="lbica",
+            description=(
+                "Every registered scheme on the consolidated3 scenario "
+                "(the scheme-comparison table as one sweep spec)."
+            ),
+            sweep_axes={
+                "scheme": ["wb", "sib", "lbica", "partition", "dynshare"],
+            },
+        ),
+        ScenarioSpec(
             name="mail_fixed_ro",
             workload="mail",
             scheme="wb",

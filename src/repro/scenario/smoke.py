@@ -134,7 +134,10 @@ def run_smoke(
         if error is not None:
             doc["errors"][label] = error
             if verbose:
-                print(f"[smoke] {Path(label).name}: FAILED — {error}", file=sys.stderr)
+                print(
+                    f"[smoke] {Path(label).name}: FAILED — {error}",
+                    file=sys.stderr,
+                )
             continue
         by_file[label][name] = fingerprint
     for label in order:

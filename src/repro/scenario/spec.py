@@ -83,11 +83,11 @@ class ScenarioError(ValueError):
 
 
 def _schemes() -> tuple[str, ...]:
-    # Imported lazily: repro.experiments.system wires the full stack and
-    # the scenario layer must stay importable below it.
-    from repro.experiments.system import SCHEMES
+    # Imported lazily so the scenario layer stays importable without
+    # the scheme registry loaded; importing registers the builtins.
+    from repro.schemes import scheme_names
 
-    return SCHEMES
+    return scheme_names()
 
 
 def _apply_overrides(obj: Any, overrides: Mapping[str, Any], context: str) -> Any:
@@ -98,7 +98,9 @@ def _apply_overrides(obj: Any, overrides: Mapping[str, Any], context: str) -> An
     JSON ``15000`` builds the same config as the Python ``15_000.0``.
     """
     if not isinstance(overrides, Mapping):
-        raise ScenarioError(f"{context}: expected a mapping, got {type(overrides).__name__}")
+        raise ScenarioError(
+            f"{context}: expected a mapping, got {type(overrides).__name__}"
+        )
     names = {f.name for f in dataclasses.fields(obj)}
     unknown = set(overrides) - names
     if unknown:
@@ -141,7 +143,9 @@ class ScenarioSpec:
             ``"vms:a+b"`` consolidations) or an inline workload spec
             dict — single-tenant ``phases`` or a multi-VM ``tenants``
             list (see :mod:`repro.workloads.spec`).
-        scheme: ``wb`` / ``sib`` / ``lbica``.
+        scheme: Any registered scheme name (``wb`` / ``sib`` / ``lbica``
+            / ``partition`` / ``dynshare`` out of the box — see
+            :mod:`repro.schemes.registry`).
         description: One-line human description (``--list-scenarios``).
         base: Config preset the overrides start from (``paper``/``quick``).
         system: Nested overrides of :class:`SystemConfig` fields —
@@ -183,9 +187,10 @@ class ScenarioSpec:
         if not self.name or not isinstance(self.name, str):
             raise ScenarioError("scenario: name must be a non-empty string")
         if self.scheme not in _schemes():
+            from repro.schemes import unknown_scheme_error
+
             raise ScenarioError(
-                f"scenario {self.name!r}: unknown scheme {self.scheme!r}; "
-                f"choose from {_schemes()}"
+                f"scenario {self.name!r}: {unknown_scheme_error(self.scheme)}"
             )
         if self.base not in _BASES:
             raise ScenarioError(

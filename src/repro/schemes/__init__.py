@@ -1,0 +1,55 @@
+"""The scheme layer: pluggable cache-allocation/balancing schemes.
+
+- :mod:`repro.schemes.base` — the :class:`Scheme` ABC (attach/detach,
+  per-tick hook, decision log, declared config dataclass) and the
+  :class:`CacheAllocator` protocol the datapath consults;
+- :mod:`repro.schemes.registry` — ``register_scheme`` and name
+  resolution (what ``--list-schemes`` and scenario validation read);
+- :mod:`repro.schemes.allocation` — per-tenant quota accounting shared
+  by the capacity-allocation schemes;
+- :mod:`repro.schemes.partition` — static per-VM cache partitioning
+  (fair / weighted-proportional);
+- :mod:`repro.schemes.dynshare` — efficiency-aware dynamic share
+  allocation from observed hit-ratio curves.
+
+Each built-in scheme registers itself when its module is imported; the
+registry lazily imports every built-in module on first query, so
+``scheme_names()`` always sees the full set — the paper's comparison
+trio (``wb``, ``sib``, ``lbica``) first, then the capacity-allocation
+competitors (``partition``, ``dynshare``), ordered by each class's
+``registry_order``.
+"""
+
+from repro.schemes.allocation import CapacityScheme, QuotaAllocator
+from repro.schemes.base import CacheAllocator, Scheme
+from repro.schemes.dynshare import DynamicShareScheme, DynShareConfig
+from repro.schemes.partition import PartitionConfig, StaticPartitionScheme
+from repro.schemes.registry import (
+    build_scheme,
+    get_scheme,
+    paper_schemes,
+    register_scheme,
+    scheme_descriptions,
+    scheme_names,
+    unknown_scheme_error,
+)
+
+__all__ = [
+    "Scheme",
+    "CacheAllocator",
+    "CapacityScheme",
+    "QuotaAllocator",
+    "register_scheme",
+    "get_scheme",
+    "build_scheme",
+    "scheme_names",
+    "paper_schemes",
+    "scheme_descriptions",
+    "unknown_scheme_error",
+    "PartitionConfig",
+    "StaticPartitionScheme",
+    "DynShareConfig",
+    "DynamicShareScheme",
+]
+
+

@@ -1,0 +1,160 @@
+"""The scheme registry: allocation schemes by name.
+
+This is the single source of truth for which schemes exist.  Everything
+that used to hardcode the paper's three names — scenario validation,
+``ExperimentSystem`` construction, the CLI — resolves through here, and
+:data:`repro.experiments.system.SCHEMES` (the paper's comparison trio
+the default figure grids iterate) is *derived* from the registry's
+``paper_baseline`` flags rather than spelled out.
+
+Adding a competitor scheme is therefore one class plus one call::
+
+    from repro.schemes import Scheme, register_scheme
+
+    @register_scheme
+    class NoopScheme(Scheme):
+        name = "noop"
+        description = "Does nothing (an example)."
+
+        def start(self):
+            pass
+
+after which ``ScenarioSpec(scheme="noop")``, ``--list-schemes``, and
+campaign sweeps over ``scheme`` all pick it up.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Optional
+
+from repro.schemes.base import Scheme
+
+__all__ = [
+    "register_scheme",
+    "get_scheme",
+    "scheme_names",
+    "paper_schemes",
+    "scheme_descriptions",
+    "build_scheme",
+]
+
+#: Registered scheme classes by name.  Treat as read-only; use
+#: :func:`register_scheme` to add entries.  Query order is by each
+#: class's ``registry_order`` (ties broken by registration order), so
+#: the paper trio lists first regardless of import order.
+_REGISTRY: dict[str, type[Scheme]] = {}
+
+#: Modules whose import registers the built-in schemes.  The legacy
+#: controllers self-register at their module bottoms (they cannot be
+#: imported from here at load time — ``repro.config`` imports them, and
+#: they import :mod:`repro.schemes.base`, so a load-time import here
+#: would be circular); every query lazily imports the full set instead.
+_BUILTIN_MODULES = (
+    "repro.baselines.wb",
+    "repro.baselines.sib",
+    "repro.core.lbica",
+    "repro.schemes.partition",
+    "repro.schemes.dynshare",
+)
+_builtins_state = "unloaded"  # -> "loading" -> "loaded"
+
+
+def _ensure_builtins() -> None:
+    global _builtins_state
+    if _builtins_state != "unloaded":
+        # "loading" guards reentrancy (a builtin module querying the
+        # registry mid-import); "loaded" is the steady state.
+        return
+    _builtins_state = "loading"
+    try:
+        for module in _BUILTIN_MODULES:
+            importlib.import_module(module)
+    except BaseException:
+        # A failed builtin import must surface again on the next query,
+        # not silently leave a partial registry behind.
+        _builtins_state = "unloaded"
+        raise
+    _builtins_state = "loaded"
+
+
+def register_scheme(
+    cls: type[Scheme], *, overwrite: bool = False
+) -> type[Scheme]:
+    """Register a :class:`Scheme` subclass under its declared ``name``.
+
+    Usable as a decorator.  Duplicate names are rejected (pass
+    ``overwrite=True`` to deliberately replace an entry); a scheme that
+    declares a ``config_field`` must name a real
+    :class:`~repro.config.SystemConfig` attribute — checked lazily at
+    build time, because the config module itself imports scheme configs.
+
+    Returns:
+        ``cls``, unchanged.
+    """
+    if not isinstance(cls, type) or not issubclass(cls, Scheme):
+        raise TypeError(f"register_scheme expects a Scheme subclass, got {cls!r}")
+    name = cls.name
+    if not name or not isinstance(name, str):
+        raise ValueError(f"{cls.__name__}: scheme name must be a non-empty string")
+    if name in _REGISTRY and not overwrite:
+        raise ValueError(
+            f"scheme {name!r} is already registered "
+            f"(by {_REGISTRY[name].__name__}); pass overwrite=True to replace"
+        )
+    _REGISTRY[name] = cls
+    return cls
+
+
+def unknown_scheme_error(name: object) -> ValueError:
+    """The canonical unknown-scheme error, naming the registry source."""
+    return ValueError(
+        f"unknown scheme {name!r}; registered schemes "
+        f"(repro.schemes.registry): {', '.join(scheme_names())}"
+    )
+
+
+def get_scheme(name: str) -> type[Scheme]:
+    """The registered scheme class for ``name``.
+
+    Raises:
+        ValueError: Naming the registry and listing every registered
+            scheme — the error an unknown ``ScenarioSpec.scheme`` or CLI
+            argument surfaces.
+    """
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise unknown_scheme_error(name) from None
+
+
+def _ordered() -> list[tuple[str, type[Scheme]]]:
+    _ensure_builtins()
+    # sorted() is stable, so equal registry_order keeps arrival order.
+    return sorted(_REGISTRY.items(), key=lambda kv: kv[1].registry_order)
+
+
+def scheme_names() -> tuple[str, ...]:
+    """Every registered scheme name (``registry_order``, then arrival)."""
+    return tuple(name for name, _ in _ordered())
+
+
+def paper_schemes() -> tuple[str, ...]:
+    """The paper's comparison baselines (``paper_baseline=True``)."""
+    return tuple(name for name, cls in _ordered() if cls.paper_baseline)
+
+
+def scheme_descriptions() -> dict[str, str]:
+    """Every registered scheme with its one-line description."""
+    return {name: cls.describe() for name, cls in _ordered()}
+
+
+def build_scheme(name: str, system) -> Scheme:
+    """Construct (and attach) the named scheme against a wired system."""
+    return get_scheme(name).from_system(system)
+
+
+def _registered(name: str) -> Optional[type[Scheme]]:
+    """Internal: the entry for ``name`` or ``None`` (tests and tooling)."""
+    return _REGISTRY.get(name)

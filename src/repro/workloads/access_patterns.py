@@ -66,7 +66,9 @@ class ZipfPattern(AddressPattern):
     otherwise interact with set indexing).
     """
 
-    def __init__(self, start: int, span: int, s: float = 1.1, perm_seed: int = 1) -> None:
+    def __init__(
+        self, start: int, span: int, s: float = 1.1, perm_seed: int = 1
+    ) -> None:
         if span <= 0:
             raise ValueError("span must be positive")
         if s <= 0:

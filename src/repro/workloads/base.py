@@ -13,7 +13,7 @@ test.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 import numpy as np
@@ -63,7 +63,9 @@ class PhaseSpec:
     @property
     def write_pattern(self) -> AddressPattern:
         """The effective write address pattern."""
-        return self.pattern_write if self.pattern_write is not None else self.pattern_read
+        if self.pattern_write is not None:
+            return self.pattern_write
+        return self.pattern_read
 
 
 @dataclass
@@ -179,7 +181,9 @@ class Workload:
     # ------------------------------------------------------------------
     # Binding to a simulator
     # ------------------------------------------------------------------
-    def bind(self, sim, submit: Callable[[Request], None], rng: np.random.Generator) -> None:
+    def bind(
+        self, sim, submit: Callable[[Request], None], rng: np.random.Generator
+    ) -> None:
         """Attach to a simulator and start generating arrivals."""
         self._sim = sim
         self._submit = submit
@@ -199,7 +203,10 @@ class Workload:
         now = self._sim.now
         if now >= self.duration_us:
             return None
-        while self._phase_idx < len(self._bounds) - 1 and now >= self._bounds[self._phase_idx]:
+        while (
+            self._phase_idx < len(self._bounds) - 1
+            and now >= self._bounds[self._phase_idx]
+        ):
             self._phase_idx += 1
         return self.phases[self._phase_idx]
 

@@ -229,7 +229,9 @@ class MultiTenantWorkload:
         return sorted(out)
 
     # ------------------------------------------------------------------
-    def bind(self, sim, submit: Callable[[Request], None], rng: np.random.Generator) -> None:
+    def bind(
+        self, sim, submit: Callable[[Request], None], rng: np.random.Generator
+    ) -> None:
         """Bind every tenant with an independent derived RNG stream.
 
         One base seed is drawn from ``rng``; each tenant's stream is

@@ -40,7 +40,14 @@ class TestGoldenStats:
         assert GOLDEN["config"] == "quick"
 
     @pytest.mark.parametrize(
-        "name", ["fig4_single_vm", "consolidated3", "bootstorm_neighbors"]
+        "name",
+        [
+            "fig4_single_vm",
+            "consolidated3",
+            "bootstorm_neighbors",
+            "consolidated3_partition",
+            "consolidated3_dynshare",
+        ],
     )
     def test_single_scenario_stats_match_golden(self, name):
         config = quick_config(GOLDEN["seed"])

@@ -1,6 +1,5 @@
 """Unit tests for the cache datapath: routing under each write policy."""
 
-import pytest
 
 from repro.cache.controller import CacheController
 from repro.cache.store import CacheStore

@@ -15,7 +15,7 @@ from repro.core.characterization import (
 )
 from repro.core.lbica import LbicaConfig, LbicaController
 from repro.core.policy_table import default_policy_table
-from repro.io.request import DeviceOp, OpTag, Request
+from repro.io.request import OpTag, Request
 from repro.trace.blktrace import BlkTracer
 
 

@@ -80,10 +80,12 @@ class TestRunResults:
             assert lbica < sib, workload
 
     def test_cache_load_ordering(self, quick_runner):
+        def mean(r):
+            return sum(r.cache_load_series()) / len(r.samples)
+
         for workload in ("tpcc", "mail", "web"):
             wb = quick_runner.run(workload, "wb")
             lb = quick_runner.run(workload, "lbica")
-            mean = lambda r: sum(r.cache_load_series()) / len(r.samples)
             assert mean(lb) < mean(wb), workload
 
     def test_series_lengths_match_interval_counts(self, quick_runner):

@@ -5,20 +5,16 @@ expected physics is computable by hand, and assert the *mechanism*, not
 tuned magnitudes.
 """
 
-import pytest
-
 from repro.cache.controller import CacheController
 from repro.cache.store import CacheStore
 from repro.cache.write_policy import WritePolicy
 from repro.config import quick_config
-from repro.core.lbica import LbicaConfig, LbicaController
 from repro.devices.base import StorageDevice
 from repro.devices.hdd import HddConfig, HddModel
 from repro.devices.ssd import SsdConfig, SsdModel
 from repro.experiments.system import ExperimentSystem
 from repro.io.request import Request
 from repro.sim.engine import Simulator
-from repro.trace.blktrace import BlkTracer
 from repro.workloads.synthetic import (
     mixed_read_write_workload,
     random_read_workload,

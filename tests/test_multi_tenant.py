@@ -5,7 +5,6 @@ import pytest
 from repro.config import quick_config
 from repro.experiments.runner import ExperimentRunner, run_grid
 from repro.experiments.system import (
-    SCHEMES,
     ExperimentSystem,
     WORKLOADS,
     register_consolidation,
