@@ -63,7 +63,7 @@ from repro.config import SystemConfig, paper_config, quick_config
 from repro.experiments.runner import PAPER_WORKLOADS, run_grid, run_perf_counters
 from repro.experiments.system import SCHEMES
 from repro.scenario import get_scenario, stats_fingerprint  # noqa: F401 (re-export)
-from repro.store import RunArtifact, RunKey, RunStore, provenance
+from repro.store import RunKey, RunStore, provenance, stamped_artifact
 
 __all__ = ["SCENARIOS", "run_scenario", "run_suite", "stats_fingerprint", "main"]
 
@@ -96,11 +96,8 @@ def _run_single(
     perf = {**run_perf_counters(result, wall), "peak_rss_kb": _peak_rss_kb()}
     digest = RunKey.for_spec(spec, config=config).digest
     if store is not None:
-        store.put(
-            RunArtifact.from_result(
-                spec, result, config=config, perf=perf, provenance=provenance()
-            )
-        )
+        # provenance stamping is shared with ExperimentRunner._write_through
+        store.put(stamped_artifact(spec, result, config=config, perf=perf))
     return perf, stats_fingerprint(result), digest
 
 
@@ -193,9 +190,7 @@ def run_suite(
         "python": platform.python_version(),
         "platform": platform.platform(),
         "provenance": {
-            "repro_version": prov["repro_version"],
-            "git_commit": prov["git_commit"],
-            "created_at": prov["created_at"],
+            **prov,  # repro_version / git_commit / created_at, one source
             "store": str(store.root) if store is not None else None,
             "store_keys": {},
         },

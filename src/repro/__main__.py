@@ -18,6 +18,7 @@ usage: repro <command> ...
 commands:
   campaign     run / status / report / diff persistent experiment campaigns
   experiments  regenerate paper figures (same as `lbica-experiments`)
+  lint         simulation-core invariant linter (simlint)
 
 flags (forwarded to `experiments`):
   --list-schemes / --list-workloads / --list-scenarios
@@ -45,6 +46,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.experiments.cli import main as experiments_main
 
         return experiments_main(rest)
+    if command == "lint":
+        from repro.devtools.simlint.cli import main as lint_main
+
+        return lint_main(rest)
     print(f"unknown command {command!r}\n\n{_USAGE}", file=sys.stderr)
     return 2
 

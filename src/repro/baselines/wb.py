@@ -24,6 +24,7 @@ class WbBaseline(Scheme):
 
     name = "wb"
     description = "Unbalanced write-back cache (EnhanceIO WB mode, no balancer)."
+    config_cls = None  # genuinely config-less, stated explicitly (SL005)
     paper_baseline = True
     registry_order = 0
 

@@ -21,12 +21,16 @@ consistent when writes or promotions are diverted.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.cache.store import CacheStore
 from repro.cache.write_policy import PolicyBehavior, WritePolicy, behavior_for
 from repro.devices.base import StorageDevice
 from repro.io.request import DeviceOp, OpTag, Request
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.schemes.base import CacheAllocator
 
 __all__ = ["CacheController", "CacheStats", "TenantStats", "PolicyChange"]
 
@@ -120,7 +124,7 @@ class CacheController:
 
     def __init__(
         self,
-        sim,
+        sim: Simulator,
         ssd: StorageDevice,
         hdd: StorageDevice,
         store: CacheStore,
@@ -137,7 +141,7 @@ class CacheController:
         #: capacity-partitioning scheme installs.  ``None`` (the
         #: default) skips every allocator call site, keeping the shared
         #: datapath bit-identical to an allocator-free build.
-        self.allocator = None
+        self.allocator: Optional["CacheAllocator"] = None
         self._completion_hooks: list[Callable[[Request], None]] = []
         self._flushing: set[int] = set()
         self._behavior = behavior_for(policy)

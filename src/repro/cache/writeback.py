@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cache.controller import CacheController
+from repro.sim.engine import Simulator
 
 __all__ = ["WritebackConfig", "WritebackFlusher"]
 
@@ -52,7 +53,7 @@ class WritebackFlusher:
 
     def __init__(
         self,
-        sim,
+        sim: Simulator,
         controller: CacheController,
         config: WritebackConfig | None = None,
     ) -> None:

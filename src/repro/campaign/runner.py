@@ -22,6 +22,7 @@ from typing import Optional
 
 from repro.campaign.spec import CampaignSpec
 from repro.experiments.runner import ExperimentRunner
+from repro.scenario.spec import ScenarioSpec
 from repro.store import RunArtifact, RunKey, RunStore, StoreError
 
 __all__ = ["CampaignRun", "run_campaign"]
@@ -62,7 +63,7 @@ class CampaignRun:
         return text
 
 
-def _shards(items: list, size: int) -> list[list]:
+def _shards(items: list[ScenarioSpec], size: int) -> list[list[ScenarioSpec]]:
     """Split ``items`` into consecutive shards of at most ``size``."""
     return [items[i : i + size] for i in range(0, len(items), size)]
 
@@ -110,14 +111,14 @@ def run_campaign(
             except StoreError as exc:
                 run.healed.append(spec.name)
                 if verbose:
-                    print(
+                    print(  # simlint: ignore[SL008] opt-in progress output
                         f"[campaign] {spec.name}: stored artifact unreadable "
                         f"({exc}); re-simulating",
                         flush=True,
                     )
         missing.append(spec)
     if verbose:
-        print(
+        print(  # simlint: ignore[SL008] opt-in progress output
             f"[campaign] {campaign.name}: {len(specs)} scenarios — "
             f"{len(run.hits)} already stored, {len(missing)} to simulate "
             f"(jobs={workers})",
@@ -135,11 +136,11 @@ def run_campaign(
             run.artifacts[spec.name] = store.get(RunKey.for_spec(spec))
             run.simulated.append(spec.name)
         if verbose and missing:
-            print(
+            print(  # simlint: ignore[SL008] opt-in progress output
                 f"[campaign] progress: {done}/{len(missing)} simulated "
                 f"({len(run.hits) + done}/{len(specs)} total)",
                 flush=True,
             )
     if verbose:
-        print(f"[campaign] {run.summary()}", flush=True)
+        print(f"[campaign] {run.summary()}", flush=True)  # simlint: ignore[SL008] opt-in progress
     return run

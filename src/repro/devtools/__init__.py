@@ -1,0 +1,9 @@
+"""Developer tooling for the reproduction.
+
+Nothing under :mod:`repro.devtools` is imported by the simulation core;
+these packages exist to *check* the core, not to run it.  Currently:
+
+- :mod:`repro.devtools.simlint` — the AST invariant linter behind
+  ``repro lint`` (see ``docs/ARCHITECTURE.md``, "Static analysis
+  layer").
+"""

@@ -1,0 +1,104 @@
+"""The simlint baseline: a ratchet that only tightens.
+
+A baseline file maps ``"path::CODE"`` keys to accepted violation counts
+— the debt ledger for rules introduced after the code they flag.  The
+comparison is one-way: a file/rule pair exceeding its baselined count is
+a **new** violation and fails the run, while a pair now *below* its
+count is **stale** headroom that ``--update-baseline`` shrinks away (and
+plain runs merely report).  Counts never grow except by a human editing
+the committed file, which is exactly the review conversation the ratchet
+exists to force.
+
+Keying on counts rather than line numbers keeps the baseline stable
+under unrelated edits that shift code up or down a file.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.devtools.simlint.engine import LintError, Violation
+
+__all__ = ["BaselineResult", "baseline_counts", "compare", "load", "write"]
+
+
+def baseline_counts(violations: Iterable[Violation]) -> dict[str, int]:
+    """The ``{"path::CODE": count}`` table for ``violations``."""
+    counts: dict[str, int] = {}
+    for v in violations:
+        key = f"{v.path}::{v.code}"
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def load(path: Path) -> dict[str, int]:
+    """Read a baseline file; a missing file is an empty baseline.
+
+    Raises:
+        LintError: On unreadable, unparsable, or ill-typed content — a
+            corrupt ratchet must never silently pass as empty.
+    """
+    if not path.exists():
+        return {}
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise LintError(f"baseline {path}: {exc}") from exc
+    if not isinstance(data, dict) or not all(
+        isinstance(k, str) and isinstance(v, int) and v > 0 for k, v in data.items()
+    ):
+        raise LintError(
+            f"baseline {path}: expected an object of positive integer counts"
+        )
+    return data
+
+
+def write(path: Path, counts: dict[str, int]) -> None:
+    """Write ``counts`` as a sorted, human-diffable baseline file."""
+    path.write_text(
+        json.dumps(counts, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+@dataclass
+class BaselineResult:
+    """The outcome of checking violations against a baseline."""
+
+    #: Violations beyond the baselined count for their file/rule pair,
+    #: oldest-line first — the ones that fail the run.
+    new: list[Violation] = field(default_factory=list)
+    #: ``path::CODE`` keys whose current count is below the baseline
+    #: (mapped to the unused headroom); shrink with --update-baseline.
+    stale: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the ratchet holds (no new violations)."""
+        return not self.new
+
+
+def compare(
+    violations: Sequence[Violation], baseline: dict[str, int]
+) -> BaselineResult:
+    """Check ``violations`` against ``baseline`` (the ratchet).
+
+    For each ``path::CODE`` pair the first ``baseline[key]`` violations
+    (in line order) are accepted; every one past that is new.  Baseline
+    keys with unused headroom — including pairs that no longer occur at
+    all — are reported stale.
+    """
+    result = BaselineResult()
+    seen: dict[str, int] = {}
+    for v in sorted(violations):
+        key = f"{v.path}::{v.code}"
+        seen[key] = seen.get(key, 0) + 1
+        if seen[key] > baseline.get(key, 0):
+            result.new.append(v)
+    for key, allowed in baseline.items():
+        used = min(seen.get(key, 0), allowed)
+        if used < allowed:
+            result.stale[key] = allowed - used
+    return result

@@ -1,0 +1,235 @@
+"""The simlint engine: file contexts, violations, pragmas, the driver.
+
+The engine is rule-agnostic.  It parses each file once into a
+:class:`FileContext` (AST + source lines + derived module name + pragma
+table), hands the context to every registered rule, and filters the
+collected :class:`Violation` records through per-line
+``# simlint: ignore[CODE]`` pragmas.  The rules themselves live in
+:mod:`repro.devtools.simlint.rules`; the registry that holds them in
+:mod:`repro.devtools.simlint.registry`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import ClassVar, Iterable, Optional, Sequence
+
+__all__ = [
+    "FileContext",
+    "LintError",
+    "Rule",
+    "Violation",
+    "lint_paths",
+    "lint_source",
+    "module_name_for",
+]
+
+#: ``# simlint: ignore[SL001]``, ``ignore[SL001,SL008]``, or the blanket
+#: ``ignore[*]``; trailing free text after the bracket is a
+#: justification and is encouraged.
+_PRAGMA_RE = re.compile(r"#\s*simlint:\s*ignore\[([A-Z0-9_*,\s]+)\]")
+
+
+class LintError(Exception):
+    """A file could not be linted (unreadable or unparsable)."""
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule hit: ``CODE path:line:col message``."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """The human-readable one-liner."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        """The JSON-output record (stable field set)."""
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to know about one source file."""
+
+    path: str  #: repo-relative POSIX path (display + baseline key)
+    module: str  #: dotted module name, e.g. ``repro.sim.engine``
+    source: str
+    tree: ast.Module
+    #: line number -> set of ignored codes ({"*"} means all codes)
+    ignores: dict[int, set[str]] = field(default_factory=dict)
+
+    def module_in(self, prefixes: Iterable[str]) -> bool:
+        """Whether :attr:`module` is, or is inside, any of ``prefixes``."""
+        return any(
+            self.module == p or self.module.startswith(p + ".") for p in prefixes
+        )
+
+
+class Rule:
+    """Base class for simlint rules.
+
+    Subclasses declare a unique ``code`` (``SLnnn``), a one-line
+    ``title`` (shown by ``--list-rules``), and a longer ``explanation``
+    (shown by ``--explain CODE``), then implement :meth:`check` as a
+    generator of :class:`Violation` records over a file's AST.
+    """
+
+    code: ClassVar[str] = ""
+    title: ClassVar[str] = ""
+    explanation: ClassVar[str] = ""
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        """Yield every violation of this rule in ``ctx``."""
+        raise NotImplementedError
+
+    def violation(self, ctx: FileContext, node: ast.AST, message: str) -> Violation:
+        """A :class:`Violation` anchored at ``node``."""
+        return Violation(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=self.code,
+            message=message,
+        )
+
+
+def _parse_pragmas(source: str) -> dict[int, set[str]]:
+    ignores: dict[int, set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA_RE.search(line)
+        if match is None:
+            continue
+        codes = {c.strip() for c in match.group(1).split(",") if c.strip()}
+        if codes:
+            ignores.setdefault(lineno, set()).update(codes)
+    return ignores
+
+
+def module_name_for(path: Path, root: Path) -> str:
+    """The dotted module name of ``path`` relative to ``root``.
+
+    A leading ``src/`` layout component is dropped, so
+    ``<root>/src/repro/sim/engine.py`` maps to ``repro.sim.engine`` and a
+    package ``__init__.py`` maps to the package itself.  Files outside
+    ``root`` (or non-``.py`` files) map to a name derived from the bare
+    filename — good enough for fixture snippets, which pass an explicit
+    module name instead.
+    """
+    try:
+        rel = path.resolve().relative_to(root.resolve())
+    except ValueError:
+        rel = Path(path.name)
+    parts = list(rel.with_suffix("").parts)
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _suppressed(violation: Violation, ignores: dict[int, set[str]]) -> bool:
+    codes = ignores.get(violation.line)
+    if not codes:
+        return False
+    return "*" in codes or violation.code in codes
+
+
+def lint_source(
+    source: str,
+    *,
+    path: str = "<string>",
+    module: str = "",
+    rules: Optional[Sequence[Rule]] = None,
+) -> list[Violation]:
+    """Lint one source string against ``rules`` (default: all registered).
+
+    ``module`` sets the dotted module name rules use for scoping; fixture
+    tests pass e.g. ``module="repro.sim.fixture"`` to place a snippet
+    inside a rule's scope without a real file on disk.
+
+    Raises:
+        LintError: If ``source`` is not valid Python.
+    """
+    if rules is None:
+        from repro.devtools.simlint.registry import all_rules
+
+        rules = all_rules()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise LintError(f"{path}: {exc.msg} (line {exc.lineno})") from exc
+    ctx = FileContext(
+        path=path,
+        module=module,
+        source=source,
+        tree=tree,
+        ignores=_parse_pragmas(source),
+    )
+    found: list[Violation] = []
+    for rule in rules:
+        for violation in rule.check(ctx):
+            if not _suppressed(violation, ctx.ignores):
+                found.append(violation)
+    return sorted(found)
+
+
+def _collect_files(paths: Sequence[Path]) -> list[Path]:
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+        else:
+            raise LintError(f"{path}: not a Python file or directory")
+    return files
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    *,
+    root: Optional[Path] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> list[Violation]:
+    """Lint files and directories (recursively), sorted by location.
+
+    ``root`` anchors both the display paths and the derived module
+    names; it defaults to the current working directory so that running
+    ``repro lint src/repro`` from the repo root yields repo-relative
+    paths (the form the committed baseline uses).
+    """
+    root = Path.cwd() if root is None else root
+    found: list[Violation] = []
+    for file in _collect_files([Path(p) for p in paths]):
+        try:
+            source = file.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise LintError(f"{file}: {exc}") from exc
+        try:
+            rel = file.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            rel = file.as_posix()
+        found.extend(
+            lint_source(
+                source,
+                path=rel,
+                module=module_name_for(file, root),
+                rules=rules,
+            )
+        )
+    return sorted(found)

@@ -37,7 +37,7 @@ from typing import Iterable, Optional, Sequence
 from repro.config import SystemConfig, paper_config
 from repro.experiments.system import SCHEMES, RunResult
 from repro.scenario.spec import ScenarioSpec
-from repro.store import RunArtifact, RunKey, RunStore, StoreError, provenance
+from repro.store import RunArtifact, RunKey, RunStore, StoreError, stamped_artifact
 
 __all__ = [
     "ExperimentRunner",
@@ -130,27 +130,27 @@ class ExperimentRunner:
         key = spec.key()
         if key not in self._cache:
             if self.verbose:
-                print(f"[runner] simulating {spec.name} ...", flush=True)
+                print(f"[runner] simulating {spec.name} ...", flush=True)  # simlint: ignore[SL008] opt-in progress
             result, wall = _simulate_spec_timed(spec)
             self._cache[key] = result
             self._write_through(spec, result, wall)
             if self.verbose:
-                print(f"[runner]   {self._cache[key].summary()}", flush=True)
+                print(f"[runner]   {self._cache[key].summary()}", flush=True)  # simlint: ignore[SL008] opt-in progress
         return self._cache[key]
 
     def _write_through(
         self, spec: ScenarioSpec, result: RunResult, wall_s: Optional[float]
     ) -> None:
-        """Persist one simulated result into the attached store, if any."""
+        """Persist one simulated result into the attached store, if any.
+
+        Provenance stamping lives in :func:`repro.store.stamped_artifact`
+        — the one helper this runner and ``benchmarks/suite.py`` share.
+        """
         if self.store is None:
             return
-        artifact = RunArtifact.from_result(
-            spec,
-            result,
-            perf=run_perf_counters(result, wall_s),
-            provenance=provenance(),
+        self.store.put(
+            stamped_artifact(spec, result, perf=run_perf_counters(result, wall_s))
         )
-        self.store.put(artifact)
 
     def artifact_for(self, spec: ScenarioSpec) -> RunArtifact:
         """The stored artifact for a spec, simulating only on a store miss.
@@ -208,7 +208,7 @@ class ExperimentRunner:
                 missing[key] = spec
         if max_workers > 1 and len(missing) > 1:
             if self.verbose:
-                print(
+                print(  # simlint: ignore[SL008] opt-in progress
                     f"[runner] simulating {len(missing)} scenarios "
                     f"across {max_workers} workers ...",
                     flush=True,
@@ -222,7 +222,7 @@ class ExperimentRunner:
                     self._cache[key] = result
                     self._write_through(spec, result, wall)
                     if self.verbose:
-                        print(f"[runner]   {result.summary()}", flush=True)
+                        print(f"[runner]   {result.summary()}", flush=True)  # simlint: ignore[SL008] opt-in progress
         return {spec.name: self.run_spec(spec) for spec in specs}
 
     def run_many(

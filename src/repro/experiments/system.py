@@ -15,13 +15,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-from repro.baselines.sib import SibController
 from repro.cache.controller import CacheController, PolicyChange
 from repro.cache.store import CacheStore
 from repro.cache.write_policy import WritePolicy
 from repro.cache.writeback import WritebackFlusher
 from repro.config import SystemConfig
-from repro.core.lbica import LbicaController, LbicaDecision
+from repro.core.lbica import LbicaDecision
 from repro.devices.array import StripedArrayModel
 from repro.devices.base import StorageDevice
 from repro.devices.hdd import HddModel
@@ -481,12 +480,14 @@ class ExperimentSystem:
             )
         self.sim.run(until=horizon)
 
+        # Dispatch on the registered scheme name rather than importing the
+        # concrete controller classes (SL004): the registry owns those.
         lbica_decisions: list[LbicaDecision] = []
         sib_rounds = 0
         sib_overhead = 0.0
-        if isinstance(self.balancer, LbicaController):
+        if self.balancer.name == "lbica":
             lbica_decisions = self.balancer.decisions
-        elif isinstance(self.balancer, SibController):
+        elif self.balancer.name == "sib":
             sib_rounds = len(self.balancer.rounds)
             sib_overhead = self.balancer.total_overhead_us
 

@@ -11,10 +11,15 @@ optimization or refactor must keep them bit-identical.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.system import RunResult
+
 __all__ = ["stats_fingerprint"]
 
 
-def stats_fingerprint(result) -> dict:
+def stats_fingerprint(result: "RunResult") -> dict[str, Any]:
     """A deterministic, JSON-stable digest of a run's statistics.
 
     Args:

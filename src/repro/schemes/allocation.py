@@ -32,8 +32,13 @@ count against any quota.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Any, Optional
+
 from repro.cache.store import CacheStore
-from repro.schemes.base import Scheme
+from repro.schemes.base import Scheme, SchemeConfigLike
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.system import ExperimentSystem
 
 __all__ = ["QuotaAllocator", "CapacityScheme", "fair_shares", "proportional_shares"]
 
@@ -247,12 +252,14 @@ class CapacityScheme(Scheme):
     the common allocator summary block are provided here.
     """
 
-    def __init__(self, config=None) -> None:
+    def __init__(self, config: Optional[SchemeConfigLike] = None) -> None:
         super().__init__(config)
         self.allocator: QuotaAllocator | None = None
         self.shares: dict[int, int] = {}
 
-    def _install_allocator(self, system, shares: dict[int, int]) -> None:
+    def _install_allocator(
+        self, system: "ExperimentSystem", shares: dict[int, int]
+    ) -> None:
         """Adopt ``shares`` and install quota admission on the datapath.
 
         A tenant outside the assigned range (never the case for the
@@ -265,13 +272,15 @@ class CapacityScheme(Scheme):
         self.allocator.set_quotas(self.shares)
         system.controller.allocator = self.allocator
 
-    def _on_detach(self, system) -> None:
+    def _on_detach(self, system: "ExperimentSystem") -> None:
         if system.controller.allocator is self.allocator:
             system.controller.allocator = None
 
-    def allocator_summary(self) -> dict:
+    def allocator_summary(self) -> dict[str, Any]:
         """The share/occupancy/recycling counters every capacity scheme reports."""
         allocator = self.allocator
+        if allocator is None:
+            raise RuntimeError("allocator_summary requires an attached scheme")
         return {
             "shares": {str(t): s for t, s in sorted(self.shares.items())},
             "occupancy": {str(t): c for t, c in allocator.occupancy().items()},

@@ -25,7 +25,7 @@ so adding a competitor needs zero edits to core plumbing.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, ClassVar, Optional, Protocol
+from typing import TYPE_CHECKING, Any, ClassVar, Optional, Protocol
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.experiments.system import ExperimentSystem
@@ -85,7 +85,7 @@ class Scheme:
     #: One-line human description (``--list-schemes``).
     description: ClassVar[str] = ""
     #: Declared config dataclass, or ``None`` for config-free schemes.
-    config_cls: ClassVar[Optional[type]] = None
+    config_cls: ClassVar[Optional[type[Any]]] = None
     #: :class:`~repro.config.SystemConfig` attribute holding the scheme's
     #: config block, or ``None`` (must name a real field when set).
     config_field: ClassVar[Optional[str]] = None
@@ -104,13 +104,15 @@ class Scheme:
     system: Optional["ExperimentSystem"] = None
     _started: bool = False
 
-    def __init__(self, config=None) -> None:
+    def __init__(self, config: Optional[SchemeConfigLike] = None) -> None:
         if config is None and self.config_cls is not None:
             config = self.config_cls()
         if config is not None:
             config.validate()
-        self.config = config
-        self.decisions: list = []
+        # Any, deliberately: each subclass reads its own config dataclass's
+        # fields, and the declared config_cls is what types it in spirit.
+        self.config: Any = config
+        self.decisions: list[Any] = []
 
     # ------------------------------------------------------------------
     # Construction from a wired system
@@ -191,11 +193,11 @@ class Scheme:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
-    def decision_log(self) -> list:
+    def decision_log(self) -> list[Any]:
         """One record per control-loop evaluation (scheme-specific type)."""
         return self.decisions
 
-    def summary_stats(self) -> dict:
+    def summary_stats(self) -> dict[str, Any]:
         """Scheme-specific counters for reports (JSON-friendly)."""
         return {}
 

@@ -33,9 +33,13 @@ bit-identically across processes and platforms.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
 
 from repro.schemes.allocation import CapacityScheme, fair_shares
 from repro.schemes.registry import register_scheme
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.system import ExperimentSystem
 
 __all__ = ["DynShareConfig", "ShareDecision", "DynamicShareScheme"]
 
@@ -85,9 +89,9 @@ class ShareDecision:
     """One reallocation evaluation (the scheme's timeline row)."""
 
     time: float
-    shares: dict
-    hit_ratios: dict
-    pressure: dict
+    shares: dict[int, int]
+    hit_ratios: dict[int, float]
+    pressure: dict[int, float]
     moved_blocks: int
     from_tenant: int | None
     to_tenant: int | None
@@ -114,7 +118,7 @@ class DynamicShareScheme(CapacityScheme):
         self._prev_misses: dict[int, int] = {}
 
     # ------------------------------------------------------------------
-    def _on_attach(self, system) -> None:
+    def _on_attach(self, system: "ExperimentSystem") -> None:
         n = max(1, getattr(system.workload, "tenant_count", 1))
         self._install_allocator(
             system,
@@ -214,11 +218,12 @@ class DynamicShareScheme(CapacityScheme):
             return 0, None, None
         self.shares[src] -= moved
         self.shares[dst] += moved
+        assert self.allocator is not None  # _on_attach installed it
         self.allocator.set_quotas(self.shares)
         return moved, src, dst
 
     # ------------------------------------------------------------------
-    def summary_stats(self) -> dict:
+    def summary_stats(self) -> dict[str, Any]:
         return {
             **self.allocator_summary(),
             "reallocations": sum(

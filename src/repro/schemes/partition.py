@@ -28,6 +28,7 @@ dynamic allocator (:mod:`repro.schemes.dynshare`) relaxes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
 
 from repro.schemes.allocation import (
     CapacityScheme,
@@ -35,6 +36,9 @@ from repro.schemes.allocation import (
     proportional_shares,
 )
 from repro.schemes.registry import register_scheme
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.system import ExperimentSystem
 
 __all__ = ["PartitionConfig", "PartitionDecision", "StaticPartitionScheme"]
 
@@ -83,10 +87,10 @@ class PartitionDecision:
     """One observation of the partitioned cache (shares never move)."""
 
     time: float
-    shares: dict
-    occupancy: dict
-    recycled: dict
-    denied: dict
+    shares: dict[int, int]
+    occupancy: dict[int, int]
+    recycled: dict[int, int]
+    denied: dict[int, int]
 
 
 class StaticPartitionScheme(CapacityScheme):
@@ -102,7 +106,7 @@ class StaticPartitionScheme(CapacityScheme):
     registry_order = 10
 
     # ------------------------------------------------------------------
-    def _on_attach(self, system) -> None:
+    def _on_attach(self, system: "ExperimentSystem") -> None:
         store = system.store
         n = max(1, getattr(system.workload, "tenant_count", 1))
         cfg = self.config
@@ -130,6 +134,7 @@ class StaticPartitionScheme(CapacityScheme):
 
     def _snapshot(self, now: float) -> None:
         allocator = self.allocator
+        assert allocator is not None  # _on_attach installed it
         self.decisions.append(
             PartitionDecision(
                 time=now,
@@ -141,7 +146,7 @@ class StaticPartitionScheme(CapacityScheme):
         )
 
     # ------------------------------------------------------------------
-    def summary_stats(self) -> dict:
+    def summary_stats(self) -> dict[str, Any]:
         return {"variant": self.config.variant, **self.allocator_summary()}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -26,9 +26,12 @@ campaign sweeps over ``scheme`` all pick it up.
 from __future__ import annotations
 
 import importlib
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.schemes.base import Scheme
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.system import ExperimentSystem
 
 __all__ = [
     "register_scheme",
@@ -150,7 +153,7 @@ def scheme_descriptions() -> dict[str, str]:
     return {name: cls.describe() for name, cls in _ordered()}
 
 
-def build_scheme(name: str, system) -> Scheme:
+def build_scheme(name: str, system: "ExperimentSystem") -> Scheme:
     """Construct (and attach) the named scheme against a wired system."""
     return get_scheme(name).from_system(system)
 

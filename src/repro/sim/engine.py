@@ -43,15 +43,24 @@ from repro.sim.events import Event
 
 __all__ = ["Simulator", "SimulationError"]
 
+#: One calendar entry: ``(time, seq, fn, args, event)``.
+_HeapEntry = tuple[float, int, Callable[..., Any], "tuple[Any, ...]", Event]
+
 
 class SimulationError(RuntimeError):
     """Raised on invalid scheduling (e.g. scheduling into the past)."""
 
 
+def _never_fires() -> None:  # pragma: no cover - sentinel, never dispatched
+    raise AssertionError("the schedule_call sentinel event must never fire")
+
+
 #: Shared sentinel referenced by :meth:`Simulator.schedule_call` entries.
 #: It is never cancelled, so the run loop's ``event.cancelled`` check
 #: stays branch-predictable and no per-call Event allocation is needed.
-_NO_EVENT = Event(0.0, -1, None, ())
+#: Only its ``cancelled`` flag is ever read — dispatch takes the callback
+#: from the heap entry, never from the sentinel.
+_NO_EVENT = Event(0.0, -1, _never_fires, ())
 
 
 class Simulator:
@@ -67,7 +76,7 @@ class Simulator:
         #: compare in C on ``(time, seq)`` (seq is unique, so the
         #: callback fields are never compared), and the run loop invokes
         #: ``fn(*args)`` straight off the entry with no attribute loads.
-        self._heap: list[tuple] = []
+        self._heap: list[_HeapEntry] = []
         self._seq: int = 0
         self._events_processed: int = 0
         self._running: bool = False
@@ -134,7 +143,7 @@ class Simulator:
         return event
 
     def schedule_sorted_at(
-        self, items: Iterable[tuple[float, Callable[..., Any], tuple]]
+        self, items: Iterable[tuple[float, Callable[..., Any], tuple[Any, ...]]]
     ) -> list[Event]:
         """Batch-schedule pre-sorted ``(time, fn, args)`` triples.
 
@@ -159,7 +168,7 @@ class Simulator:
         """
         seq = self._seq
         prev = self.now
-        entries: list[tuple] = []
+        entries: list[_HeapEntry] = []
         events: list[Event] = []
         for time, fn, args in items:
             if time < prev:

@@ -31,7 +31,9 @@ class Event:
 
     __slots__ = ("time", "seq", "fn", "args", "cancelled")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(
+        self, time: float, seq: int, fn: Callable[..., Any], args: tuple[Any, ...]
+    ) -> None:
         self.time = time
         self.seq = seq
         self.fn = fn
@@ -48,7 +50,10 @@ class Event:
         return not self.cancelled
 
     def __lt__(self, other: "Event") -> bool:
-        if self.time != other.time:
+        # Exact equality is the intent here: only *bit-identical* times
+        # defer to the scheduling sequence number, which is what makes
+        # simultaneous-event ordering deterministic.
+        if self.time != other.time:  # simlint: ignore[SL003] exact tie-break
             return self.time < other.time
         return self.seq < other.seq
 

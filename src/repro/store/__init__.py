@@ -39,6 +39,7 @@ from repro.store.run_store import (
     StoreError,
     StoreMissError,
     provenance,
+    stamped_artifact,
 )
 
 __all__ = [
@@ -51,4 +52,5 @@ __all__ = [
     "SchemaMismatchError",
     "StoreMissError",
     "provenance",
+    "stamped_artifact",
 ]

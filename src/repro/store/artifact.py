@@ -22,9 +22,14 @@ import copy
 import dataclasses
 import json
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Optional
+from typing import TYPE_CHECKING, Any, Mapping, Optional
 
 from repro.analysis.metrics import LatencySummary, latency_summary
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.config import SystemConfig
+    from repro.experiments.system import RunResult
+    from repro.scenario.spec import ScenarioSpec
 
 __all__ = ["RunArtifact"]
 
@@ -68,13 +73,13 @@ class RunArtifact:
             git commit, ISO timestamp); never compared by ``diff``.
     """
 
-    spec: dict
-    config: dict
-    fingerprint: dict
-    latency: dict = field(default_factory=dict)
-    tenant_stats: dict = field(default_factory=dict)
-    perf: dict = field(default_factory=dict)
-    provenance: dict = field(default_factory=dict)
+    spec: dict[str, Any]
+    config: dict[str, Any]
+    fingerprint: dict[str, Any]
+    latency: dict[str, Any] = field(default_factory=dict)
+    tenant_stats: dict[str, Any] = field(default_factory=dict)
+    perf: dict[str, Any] = field(default_factory=dict)
+    provenance: dict[str, Any] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Construction
@@ -82,9 +87,9 @@ class RunArtifact:
     @classmethod
     def from_result(
         cls,
-        spec,
-        result,
-        config=None,
+        spec: "ScenarioSpec",
+        result: "RunResult",
+        config: Optional["SystemConfig"] = None,
         perf: Optional[Mapping[str, Any]] = None,
         provenance: Optional[Mapping[str, Any]] = None,
     ) -> "RunArtifact":
@@ -120,7 +125,7 @@ class RunArtifact:
     # ------------------------------------------------------------------
     # Dict / JSON round-trip
     # ------------------------------------------------------------------
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """Plain-data payload; :meth:`from_dict` round-trips it."""
         return {
             "spec": copy.deepcopy(self.spec),

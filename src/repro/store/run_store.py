@@ -46,9 +46,14 @@ import subprocess
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Union
+from typing import TYPE_CHECKING, Any, Mapping, Optional, Union
 
 from repro.store.artifact import RunArtifact, _canonical
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.config import SystemConfig
+    from repro.experiments.system import RunResult
+    from repro.scenario.spec import ScenarioSpec
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -59,6 +64,7 @@ __all__ = [
     "SchemaMismatchError",
     "StoreMissError",
     "provenance",
+    "stamped_artifact",
 ]
 
 #: Bump when the artifact payload layout changes incompatibly; old
@@ -113,7 +119,7 @@ def _git_commit() -> Optional[str]:
     return None
 
 
-def provenance() -> dict:
+def provenance() -> dict[str, Optional[str]]:
     """Who/what produced an artifact: repro version, git commit, time."""
     import repro  # lazy: repro/__init__ imports this package
 
@@ -122,6 +128,33 @@ def provenance() -> dict:
         "git_commit": _git_commit(),
         "created_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
     }
+
+
+def stamped_artifact(
+    spec: "ScenarioSpec",
+    result: "RunResult",
+    *,
+    config: Optional["SystemConfig"] = None,
+    perf: Optional[Mapping[str, Any]] = None,
+) -> RunArtifact:
+    """A :class:`RunArtifact` stamped with this checkout's provenance.
+
+    The single definition of the store-provenance stamping step — the
+    experiment runner's write-through and the benchmark suite both build
+    their stored artifacts here, so the provenance block (repro version,
+    git commit, creation time) can never drift between the two.
+
+    Args:
+        spec: The scenario that ran.
+        result: Its :class:`~repro.experiments.system.RunResult`.
+        config: The :class:`~repro.config.SystemConfig` actually used
+            when it differs from ``spec.to_config()`` (the benchmark
+            suite's injected quick/seed config).
+        perf: Optional perf counters to record.
+    """
+    return RunArtifact.from_result(
+        spec, result, config=config, perf=perf, provenance=provenance()
+    )
 
 
 @dataclass(frozen=True)
@@ -154,7 +187,7 @@ class RunKey:
         )
 
     @classmethod
-    def from_payload(cls, spec: dict, config: dict) -> "RunKey":
+    def from_payload(cls, spec: dict[str, Any], config: dict[str, Any]) -> "RunKey":
         """The key of an artifact payload's ``spec``/``config`` dicts."""
         return cls(
             spec_key=_canonical(spec),
@@ -162,7 +195,9 @@ class RunKey:
         )
 
     @classmethod
-    def for_spec(cls, spec, config=None) -> "RunKey":
+    def for_spec(
+        cls, spec: "ScenarioSpec", config: Optional["SystemConfig"] = None
+    ) -> "RunKey":
         """The key a :class:`~repro.scenario.ScenarioSpec` run stores under.
 
         Args:
@@ -330,7 +365,7 @@ class RunStore:
     # Index (an acceleration cache over runs/)
     # ------------------------------------------------------------------
     @staticmethod
-    def _index_entry(artifact: RunArtifact) -> dict:
+    def _index_entry(artifact: RunArtifact) -> dict[str, Any]:
         return {
             "name": artifact.name,
             "workload": artifact.workload,
@@ -338,7 +373,7 @@ class RunStore:
             "created_at": artifact.provenance.get("created_at"),
         }
 
-    def _load_index(self) -> dict:
+    def _load_index(self) -> dict[str, dict[str, Any]]:
         try:
             index = json.loads(self.index_path.read_text(encoding="utf-8"))
         except (FileNotFoundError, json.JSONDecodeError):
@@ -346,7 +381,7 @@ class RunStore:
         entries = index.get("entries") if isinstance(index, dict) else None
         return entries if isinstance(entries, dict) else {}
 
-    def _write_index(self, entries: dict) -> None:
+    def _write_index(self, entries: dict[str, dict[str, Any]]) -> None:
         self._atomic_write(
             self.index_path,
             json.dumps(
@@ -362,7 +397,7 @@ class RunStore:
         entries[digest] = self._index_entry(artifact)
         self._write_index(entries)
 
-    def entries(self) -> dict[str, dict]:
+    def entries(self) -> dict[str, dict[str, Any]]:
         """The index view (digest → name/workload/scheme/created_at).
 
         Self-healing: any stored digest missing from the index (lost to
@@ -374,7 +409,7 @@ class RunStore:
             entries, _ = self.reindex()
         return entries
 
-    def reindex(self) -> tuple[dict[str, dict], dict[str, str]]:
+    def reindex(self) -> tuple[dict[str, dict[str, Any]], dict[str, str]]:
         """Rebuild ``index.json`` from the artifact files.
 
         Returns:
@@ -382,7 +417,7 @@ class RunStore:
             ``{digest: error}`` for artifacts that failed verification
             (corrupt/foreign-schema files are reported, never indexed).
         """
-        entries: dict[str, dict] = {}
+        entries: dict[str, dict[str, Any]] = {}
         problems: dict[str, str] = {}
         for digest in self.digests():
             try:
@@ -395,7 +430,7 @@ class RunStore:
     # ------------------------------------------------------------------
     # Benchmark trajectory (suite --store)
     # ------------------------------------------------------------------
-    def append_history(self, doc: dict) -> None:
+    def append_history(self, doc: dict[str, Any]) -> None:
         """Append one benchmark-suite document to ``bench_history.jsonl``.
 
         Append-only by design: re-running the suite accumulates a
@@ -407,7 +442,7 @@ class RunStore:
         with open(self.history_path, "a", encoding="utf-8") as fh:
             fh.write(line)
 
-    def history(self) -> list[dict]:
+    def history(self) -> list[dict[str, Any]]:
         """Every recorded benchmark document, oldest first."""
         try:
             raw = self.history_path.read_text(encoding="utf-8")

@@ -1,0 +1,9 @@
+"""SL001 bad: wall-clock / ambient-RNG imports inside the sim core."""
+
+import random
+import time as clock
+from datetime import datetime
+
+
+def jitter() -> float:
+    return random.random() + clock.time() + datetime.now().microsecond

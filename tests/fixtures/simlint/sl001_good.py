@@ -1,0 +1,9 @@
+"""SL001 good: randomness via the seeded streams, time via the simulator."""
+
+import heapq
+import math
+
+
+def jitter(sim, rng) -> float:
+    heapq.heappush  # keep the import obviously purposeful
+    return math.fsum([sim.now, rng.random()])

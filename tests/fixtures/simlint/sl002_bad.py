@@ -1,0 +1,11 @@
+"""SL002 bad: iterating bare sets (hash order) in the sim core."""
+
+
+def drain() -> list[int]:
+    dirty = set()
+    dirty.add(7)
+    out = []
+    for lba in dirty:
+        out.append(lba)
+    out.extend(x for x in {1, 2, 3})
+    return out

@@ -1,0 +1,12 @@
+"""SL002 good: sets are membership-tested or iterated sorted."""
+
+
+def drain() -> list[int]:
+    dirty = set()
+    dirty.add(7)
+    out = []
+    for lba in sorted(dirty):
+        out.append(lba)
+    if 7 in dirty:
+        out.append(7)
+    return out

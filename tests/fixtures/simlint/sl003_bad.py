@@ -1,0 +1,9 @@
+"""SL003 bad: exact float equality on simulated-time values."""
+
+
+def same_tick(arrival_time: float, now: float) -> bool:
+    return arrival_time == now
+
+
+def not_yet(deadline_us: float, now: float) -> bool:
+    return deadline_us != now

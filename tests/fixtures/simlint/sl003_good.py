@@ -1,0 +1,9 @@
+"""SL003 good: ordering or explicit tolerance on simulated time."""
+
+
+def same_tick(arrival_time: float, now: float) -> bool:
+    return abs(arrival_time - now) < 1e-9
+
+
+def not_yet(deadline_us: float, now: float) -> bool:
+    return now < deadline_us

@@ -1,0 +1,10 @@
+"""SL004 bad: concrete controller classes imported around the registry."""
+
+from repro.core.lbica import LbicaController
+from repro.schemes.dynshare import DynamicShareScheme
+
+
+def build(system):
+    if isinstance(system.balancer, LbicaController):
+        return system.balancer
+    return DynamicShareScheme.from_system(system)

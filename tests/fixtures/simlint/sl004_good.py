@@ -1,0 +1,9 @@
+"""SL004 good: schemes resolve by name through the registry."""
+
+from repro.schemes.registry import build_scheme
+
+
+def build(system):
+    if system.balancer.name == "lbica":
+        return system.balancer
+    return build_scheme("dynshare", system)

@@ -1,0 +1,17 @@
+"""SL005 bad: registration sites without a config_cls declaration."""
+
+from repro.schemes import Scheme, register_scheme
+
+
+@register_scheme
+class NoopScheme(Scheme):
+    name = "noop"
+    description = "Does nothing."
+
+
+class LateScheme(Scheme):
+    name = "late"
+    description = "Registered by call, still no config_cls."
+
+
+register_scheme(LateScheme)

@@ -1,0 +1,19 @@
+"""SL005 good: every registration declares config_cls (None = config-less)."""
+
+from repro.schemes import Scheme, register_scheme
+
+
+@register_scheme
+class NoopScheme(Scheme):
+    name = "noop"
+    description = "Does nothing."
+    config_cls = None
+
+
+class LateScheme(Scheme):
+    name = "late"
+    description = "Registered by call."
+    config_cls: type | None = None
+
+
+register_scheme(LateScheme)

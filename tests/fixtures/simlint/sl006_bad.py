@@ -1,0 +1,6 @@
+"""SL006 bad: mutating config attributes after construction."""
+
+
+def shrink_cache(system, config):
+    system.config.cache_mb = 64
+    config.seed += 1

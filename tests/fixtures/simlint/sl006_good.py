@@ -1,0 +1,7 @@
+"""SL006 good: derive a new config instead of mutating in place."""
+
+import dataclasses
+
+
+def shrink_cache(config):
+    return dataclasses.replace(config, cache_mb=64)

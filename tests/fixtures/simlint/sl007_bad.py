@@ -1,0 +1,14 @@
+"""SL007 bad: allocations and discarded handles inside a hot-path body.
+
+Linted as module ``repro.sim.engine`` so ``Simulator.step`` matches the
+hot-path allowlist.
+"""
+
+
+class Simulator:
+    def step(self):
+        def tick():
+            return None
+
+        callback = lambda: tick()  # deliberately a lambda: the SL007 target
+        self.schedule(0.0, callback)

@@ -1,0 +1,5 @@
+"""SL008 bad: bare print() in a library module."""
+
+
+def report(message):
+    print(message)

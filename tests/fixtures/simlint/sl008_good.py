@@ -1,0 +1,11 @@
+"""SL008 good: explicit destinations and __main__ guards only."""
+
+import sys
+
+
+def report(message):
+    print(message, file=sys.stderr)
+
+
+if __name__ == "__main__":
+    print("demo output is fine under a main guard")
