@@ -188,6 +188,11 @@ class CacheController:
         """Register ``fn(request)`` to run on every request completion."""
         self._completion_hooks.append(fn)
 
+    def remove_completion_hook(self, fn: Callable[[Request], None]) -> None:
+        """Deregister a hook added via :meth:`add_completion_hook`."""
+        if fn in self._completion_hooks:
+            self._completion_hooks.remove(fn)
+
     # ------------------------------------------------------------------
     # Application entry point
     # ------------------------------------------------------------------
@@ -437,6 +442,69 @@ class CacheController:
         for lba in range(op.lba, op.end_lba):
             self.store.mark_clean(lba)
             self._flushing.discard(lba)
+
+    # ------------------------------------------------------------------
+    # Tenant service operations (churn reclaim / rewarm)
+    # ------------------------------------------------------------------
+    def reclaim_range(self, lo_lba: int, hi_lba: int) -> tuple[int, int]:
+        """Evict every resident block in ``[lo_lba, hi_lba)``.
+
+        This is the tenant-departure reclaim path: a departing tenant's
+        LBA region is dropped from the cache and its dirty blocks are
+        written back to the disk through the regular eviction chain
+        (``E`` traffic) — the data must land on the HDD before the share
+        can be handed to someone else.  A block whose background flush
+        is already in flight is invalidated without a second write-back
+        (the in-flight chain completes harmlessly; :meth:`mark_clean`
+        tolerates the missing metadata).
+
+        Returns:
+            ``(reclaimed, flushed)`` — blocks invalidated and dirty
+            write-backs issued.
+        """
+        victims = [
+            (block.lba, block.dirty)
+            for block in self.store
+            if lo_lba <= block.lba < hi_lba
+        ]
+        allocator = self.allocator
+        reclaimed = flushed = 0
+        for lba, dirty in victims:
+            in_flight = lba in self._flushing
+            if not self.store.invalidate(lba):
+                continue
+            reclaimed += 1
+            if allocator is not None:
+                allocator.note_remove(lba)
+            if dirty and not in_flight:
+                flushed += 1
+                self._flush_evicted(lba)
+        return reclaimed, flushed
+
+    def rewarm_block(self, lba: int, tenant_id: int, dirty: bool = False) -> bool:
+        """Insert one warm block on behalf of an arriving tenant.
+
+        Unlike the run-start warm pre-load (which predates any
+        allocator), a mid-run rewarm honours quota admission, the
+        allocator's ownership accounting, and the regular dirty-victim
+        write-back.
+
+        Returns:
+            ``True`` if the block was inserted.
+        """
+        if self.store.peek(lba) is not None:
+            return False
+        allocator = self.allocator
+        if allocator is not None and not allocator.admit(tenant_id, lba):
+            return False
+        _, eviction = self.store.insert(lba, self.sim.now, dirty=dirty)
+        if allocator is not None:
+            allocator.note_insert(tenant_id, lba)
+            if eviction is not None:
+                allocator.note_remove(eviction.lba)
+        if eviction is not None and eviction.was_dirty:
+            self._flush_evicted(eviction.lba)
+        return True
 
     # ------------------------------------------------------------------
     # Bypass support (used by LBICA's balancer and by SIB)

@@ -23,6 +23,7 @@ from repro.devices.presets import HDD_PRESET, SSD_PRESET
 from repro.devices.ssd import SsdConfig
 from repro.schemes.dynshare import DynShareConfig
 from repro.schemes.partition import PartitionConfig
+from repro.schemes.slosteal import SloStealConfig
 
 __all__ = ["SystemConfig", "paper_config", "quick_config"]
 
@@ -53,6 +54,8 @@ class SystemConfig:
             ``partition`` scheme).
         dynshare: Dynamic share-allocator tuning (the ``dynshare``
             scheme).
+        slosteal: SLO-stealing allocator tuning (the ``slosteal``
+            scheme).
         rate_scale: Multiplier applied to workload arrival rates.
         max_outstanding: Application concurrency bound (backpressure).
         drain_intervals: Extra intervals simulated after the workload
@@ -75,6 +78,7 @@ class SystemConfig:
     sib: SibConfig = field(default_factory=SibConfig)
     partition: PartitionConfig = field(default_factory=PartitionConfig)
     dynshare: DynShareConfig = field(default_factory=DynShareConfig)
+    slosteal: SloStealConfig = field(default_factory=SloStealConfig)
     rate_scale: float = 1.0
     max_outstanding: int = 256
     drain_intervals: int = 0
@@ -91,6 +95,10 @@ class SystemConfig:
         if self.dynshare.decision_interval_us != self.interval_us:
             self.dynshare = replace(
                 self.dynshare, decision_interval_us=self.interval_us
+            )
+        if self.slosteal.decision_interval_us != self.interval_us:
+            self.slosteal = replace(
+                self.slosteal, decision_interval_us=self.interval_us
             )
         if self.partition.report_interval_us not in (0.0, self.interval_us):
             # 0 stays 0: it means "no periodic occupancy log".
@@ -117,6 +125,7 @@ class SystemConfig:
         self.sib.validate()
         self.partition.validate()
         self.dynshare.validate()
+        self.slosteal.validate()
 
     def scaled(self, rate_scale: float) -> "SystemConfig":
         """A copy with arrival rates scaled (devices unchanged)."""

@@ -28,6 +28,8 @@ from repro.devices.ssd import SsdModel
 from repro.io.device_queue import DeviceQueue
 from repro.io.request import Request
 from repro.schemes import Scheme, get_scheme, paper_schemes
+from repro.service.churn import ChurnManager
+from repro.service.slo import SloMonitor
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
 from repro.trace.blktrace import BlkTracer
@@ -261,6 +263,13 @@ class RunResult:
     #: Per-VM breakdown: completed / mean_latency / read_hit_ratio /
     #: bypassed / reads / writes per tenant.
     tenant_stats: dict[int, dict] = field(default_factory=dict)
+    #: Per-interval SLO compliance samples (plain dicts; empty for runs
+    #: without declared SLO targets).
+    slo_series: list = field(default_factory=list)
+    #: SLO monitor summary counters (empty without declared targets).
+    slo_stats: dict = field(default_factory=dict)
+    #: Churn executor counters (empty for runs without tenant churn).
+    service_stats: dict = field(default_factory=dict)
 
     @property
     def tenant_ids(self) -> list[int]:
@@ -383,6 +392,30 @@ class ExperimentSystem:
         # datapath hooks it needs, e.g. a cache allocator).
         self.balancer: Scheme = scheme_cls.from_system(self)
 
+        # Service layer (opt-in): a churn executor when any tenant
+        # declares a lifecycle event, an SLO monitor when any tenant
+        # declares targets.  Lifecycle-free workloads build neither, so
+        # their event sequences stay bit-identical.
+        self.churn: ChurnManager | None = None
+        if getattr(workload, "has_churn", False):
+            self.churn = ChurnManager(
+                self.sim, self.controller, workload, balancer=self.balancer
+            )
+        slo_targets = getattr(workload, "slo_targets", None)
+        targets = slo_targets() if callable(slo_targets) else {}
+        self.slo_monitor: SloMonitor | None = None
+        if targets:
+            self.slo_monitor = SloMonitor(
+                self.sim,
+                self.controller,
+                targets,
+                interval_us=config.interval_us,
+                activity_probe=(
+                    self.churn.is_active if self.churn is not None else None
+                ),
+            )
+            self.controller.add_completion_hook(self.slo_monitor.record_completion)
+
         # request accounting
         self._latencies: list[float] = []
         self._read_latencies: list[float] = []
@@ -470,6 +503,12 @@ class ExperimentSystem:
         self.monitor.start()
         self.flusher.start()
         self.balancer.start()
+        # The churn executor starts before the workload binds so a
+        # same-time arrival's rewarm precedes the tenant's first request.
+        if self.churn is not None:
+            self.churn.start()
+        if self.slo_monitor is not None:
+            self.slo_monitor.start()
         self.workload.bind(
             self.sim, self.controller.submit, self.rngs.stream("workload.arrivals")
         )
@@ -549,6 +588,15 @@ class ExperimentSystem:
                 for tid, lats in sorted(self._tenant_latencies.items())
             },
             tenant_stats=tenant_stats,
+            slo_series=(
+                [s.as_dict() for s in self.slo_monitor.samples]
+                if self.slo_monitor is not None
+                else []
+            ),
+            slo_stats=(
+                self.slo_monitor.summary() if self.slo_monitor is not None else {}
+            ),
+            service_stats=self.churn.summary() if self.churn is not None else {},
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -25,7 +25,7 @@ def stats_fingerprint(result: "RunResult") -> dict[str, Any]:
     Args:
         result: A :class:`~repro.experiments.system.RunResult`.
     """
-    return {
+    fp: dict[str, Any] = {
         "workload": result.workload,
         "scheme": result.scheme,
         "completed": result.completed,
@@ -48,3 +48,30 @@ def stats_fingerprint(result: "RunResult") -> dict[str, Any]:
         "n_lbica_decisions": len(result.lbica_decisions),
         "tenant_stats": {str(t): s for t, s in result.tenant_stats.items()},
     }
+    # Service-layer digests are appended only when the run produced
+    # them: churn and SLOs are opt-in, and every pre-existing golden
+    # (no lifecycles, no targets) must stay bit-identical.
+    if result.slo_series:
+        per_tenant: dict[str, Any] = {}
+        for sample in result.slo_series:
+            tid = str(sample["tenant_id"])
+            entry = per_tenant.get(tid)
+            if entry is None:
+                entry = per_tenant[tid] = {
+                    "intervals": 0,
+                    "violations": 0,
+                    "p99_sum": 0.0,
+                    "hit_ratio_sum": 0.0,
+                }
+            entry["intervals"] += 1
+            if not sample["compliant"]:
+                entry["violations"] += 1
+            entry["p99_sum"] += sample["p99_latency_us"]
+            entry["hit_ratio_sum"] += sample["hit_ratio"]
+        fp["slo_compliance"] = {
+            "n_samples": len(result.slo_series),
+            "tenants": per_tenant,
+        }
+    if result.service_stats:
+        fp["service_stats"] = result.service_stats
+    return fp

@@ -138,6 +138,42 @@ def _register_builtins() -> None:
             },
         ),
         ScenarioSpec(
+            name="churn_consolidated",
+            workload={
+                "name": "churn_consolidated",
+                "tenants": [
+                    {
+                        "workload": "tpcc",
+                        "rate_scale": 0.55,
+                        "slo": {
+                            "p99_latency_us": 450000.0,
+                            "min_hit_ratio": 0.85,
+                        },
+                    },
+                    {
+                        "workload": "mail",
+                        "rate_scale": 0.75,
+                        "arrive_at_us": 150000.0,
+                        "slo": {"p99_latency_us": 500000.0},
+                    },
+                    {
+                        "workload": "web",
+                        "rate_scale": 0.6,
+                        "depart_at_us": 600000.0,
+                        "slo": {"min_hit_ratio": 0.5},
+                    },
+                ],
+            },
+            scheme="slosteal",
+            base="quick",
+            horizon_intervals=60,
+            description=(
+                "Tenant churn under SLOs: a mail VM arrives mid-run, a web "
+                "VM departs (cache share reclaimed), and the slosteal "
+                "scheme moves quota toward SLO violators."
+            ),
+        ),
+        ScenarioSpec(
             name="mail_fixed_ro",
             workload="mail",
             scheme="wb",

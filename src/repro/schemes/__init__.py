@@ -10,20 +10,23 @@
 - :mod:`repro.schemes.partition` — static per-VM cache partitioning
   (fair / weighted-proportional);
 - :mod:`repro.schemes.dynshare` — efficiency-aware dynamic share
-  allocation from observed hit-ratio curves.
+  allocation from observed hit-ratio curves;
+- :mod:`repro.schemes.slosteal` — SLO-aware stealing: share moves from
+  tenants inside their objectives to the worst violator.
 
 Each built-in scheme registers itself when its module is imported; the
 registry lazily imports every built-in module on first query, so
 ``scheme_names()`` always sees the full set — the paper's comparison
 trio (``wb``, ``sib``, ``lbica``) first, then the capacity-allocation
-competitors (``partition``, ``dynshare``), ordered by each class's
-``registry_order``.
+competitors (``partition``, ``dynshare``, ``slosteal``), ordered by
+each class's ``registry_order``.
 """
 
 from repro.schemes.allocation import CapacityScheme, QuotaAllocator
 from repro.schemes.base import CacheAllocator, Scheme
 from repro.schemes.dynshare import DynamicShareScheme, DynShareConfig
 from repro.schemes.partition import PartitionConfig, StaticPartitionScheme
+from repro.schemes.slosteal import SloStealConfig, SloStealScheme
 from repro.schemes.registry import (
     build_scheme,
     get_scheme,
@@ -50,6 +53,8 @@ __all__ = [
     "StaticPartitionScheme",
     "DynShareConfig",
     "DynamicShareScheme",
+    "SloStealConfig",
+    "SloStealScheme",
 ]
 
 

@@ -219,6 +219,24 @@ class QuotaAllocator:
             if owned is not None:
                 owned.pop(lba, None)
 
+    def release_tenant(self, tenant_id: int) -> list[int]:
+        """Drop a departed tenant's quota and ownership accounting.
+
+        The store is untouched — the caller reclaims the blocks through
+        the controller (which reports each removal back via
+        :meth:`note_remove`; releasing first keeps that a cheap no-op).
+
+        Returns:
+            The LBAs the tenant owned at release time (insertion order).
+        """
+        owned = self._owned.pop(tenant_id, None)
+        lbas = list(owned) if owned else []
+        for lba in lbas:
+            self._owner.pop(lba, None)
+        self._counts.pop(tenant_id, None)
+        self.quotas.pop(tenant_id, None)
+        return lbas
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -275,6 +293,25 @@ class CapacityScheme(Scheme):
     def _on_detach(self, system: "ExperimentSystem") -> None:
         if system.controller.allocator is self.allocator:
             system.controller.allocator = None
+
+    def on_tenant_departed(self, tenant_id: int) -> None:
+        """Release the departed share and redistribute it.
+
+        The tenant's quota and ownership accounting are dropped and its
+        share blocks handed out equally to the remaining tenants (the
+        divmod remainder goes to the lowest ids, deterministically).
+        With no remaining tenants the shares simply empty.
+        """
+        freed = self.shares.pop(tenant_id, 0)
+        if self.allocator is None:
+            return
+        self.allocator.release_tenant(tenant_id)
+        remaining = sorted(self.shares)
+        if remaining and freed:
+            bonus, extra = divmod(freed, len(remaining))
+            for i, tid in enumerate(remaining):
+                self.shares[tid] += bonus + (1 if i < extra else 0)
+        self.allocator.set_quotas(self.shares)
 
     def allocator_summary(self) -> dict[str, Any]:
         """The share/occupancy/recycling counters every capacity scheme reports."""

@@ -191,6 +191,19 @@ class Scheme:
         """Per-tick hook: evaluate, decide, and log one decision."""
 
     # ------------------------------------------------------------------
+    # Tenant churn hooks
+    # ------------------------------------------------------------------
+    def on_tenant_arrived(self, tenant_id: int) -> None:
+        """A tenant arrived mid-run (churn).  Default: no reaction."""
+
+    def on_tenant_departed(self, tenant_id: int) -> None:
+        """A tenant departed mid-run (churn).  Default: no reaction.
+
+        Capacity schemes override this to release the departed share
+        (see :meth:`~repro.schemes.allocation.CapacityScheme.on_tenant_departed`).
+        """
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def decision_log(self) -> list[Any]:

@@ -59,6 +59,7 @@ _BUILTIN_MODULES = (
     "repro.core.lbica",
     "repro.schemes.partition",
     "repro.schemes.dynshare",
+    "repro.schemes.slosteal",
 )
 _builtins_state = "unloaded"  # -> "loading" -> "loaded"
 

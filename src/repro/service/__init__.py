@@ -1,0 +1,28 @@
+"""Tenant service layer: churn schedules and SLO tracking.
+
+See :mod:`repro.service.churn` for mid-run tenant arrivals, departures,
+and migrations (with cache-share reclamation and rewarm) and
+:mod:`repro.service.slo` for per-tenant service-level objectives and
+the periodic compliance monitor.
+"""
+
+from repro.service.churn import (
+    ChurnManager,
+    ServiceWorkload,
+    TenantEvent,
+    TenantLifecycle,
+    generate_lifecycles,
+)
+from repro.service.slo import ServiceError, SloMonitor, SloSample, SloTarget
+
+__all__ = [
+    "ChurnManager",
+    "ServiceWorkload",
+    "TenantEvent",
+    "TenantLifecycle",
+    "generate_lifecycles",
+    "ServiceError",
+    "SloMonitor",
+    "SloSample",
+    "SloTarget",
+]

@@ -40,6 +40,7 @@ _ARTIFACT_KEYS = {
     "fingerprint",
     "latency",
     "tenant_stats",
+    "service",
     "perf",
     "provenance",
 }
@@ -67,6 +68,11 @@ class RunArtifact:
         latency: ``{"overall"|"read"|"write": LatencySummary.as_dict()}``.
         tenant_stats: Per-VM stat table (``RunResult.tenant_stats`` with
             string tenant ids, as in the fingerprint).
+        service: Service-layer record for churn/SLO runs —
+            ``{"churn": ChurnManager.summary(), "slo": {"series": [...],
+            "stats": SloMonitor.summary()}}``.  Empty for runs without
+            tenant lifecycles or SLO targets (the key is additive; old
+            stored artifacts rehydrate with an empty dict).
         perf: Free-form perf counters (wall clock, events/sec, RSS …);
             never compared by ``diff``.
         provenance: Who/when/what produced this artifact (repro version,
@@ -78,6 +84,7 @@ class RunArtifact:
     fingerprint: dict[str, Any]
     latency: dict[str, Any] = field(default_factory=dict)
     tenant_stats: dict[str, Any] = field(default_factory=dict)
+    service: dict[str, Any] = field(default_factory=dict)
     perf: dict[str, Any] = field(default_factory=dict)
     provenance: dict[str, Any] = field(default_factory=dict)
 
@@ -108,6 +115,14 @@ class RunArtifact:
 
         cfg = config if config is not None else spec.to_config()
         fingerprint = stats_fingerprint(result)
+        service: dict[str, Any] = {}
+        if result.service_stats:
+            service["churn"] = copy.deepcopy(result.service_stats)
+        if result.slo_series or result.slo_stats:
+            service["slo"] = {
+                "series": copy.deepcopy(result.slo_series),
+                "stats": copy.deepcopy(result.slo_stats),
+            }
         return cls(
             spec=spec.to_dict(),
             config=dataclasses.asdict(cfg),
@@ -118,6 +133,7 @@ class RunArtifact:
                 "write": latency_summary(result.write_latencies).as_dict(),
             },
             tenant_stats=copy.deepcopy(fingerprint["tenant_stats"]),
+            service=service,
             perf=dict(perf or {}),
             provenance=dict(provenance or {}),
         )
@@ -133,6 +149,7 @@ class RunArtifact:
             "fingerprint": copy.deepcopy(self.fingerprint),
             "latency": copy.deepcopy(self.latency),
             "tenant_stats": copy.deepcopy(self.tenant_stats),
+            "service": copy.deepcopy(self.service),
             "perf": copy.deepcopy(self.perf),
             "provenance": copy.deepcopy(self.provenance),
         }
@@ -170,6 +187,7 @@ class RunArtifact:
             fingerprint=copy.deepcopy(dict(payload["fingerprint"])),
             latency=copy.deepcopy(latency),
             tenant_stats=copy.deepcopy(dict(payload.get("tenant_stats") or {})),
+            service=copy.deepcopy(dict(payload.get("service") or {})),
             perf=copy.deepcopy(dict(payload.get("perf") or {})),
             provenance=copy.deepcopy(dict(payload.get("provenance") or {})),
         )

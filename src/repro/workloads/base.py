@@ -168,6 +168,20 @@ class Workload:
             raise ValueError("offset_us must be non-negative")
         self._bounds = [b + offset_us for b in self._bounds]
 
+    def stop(self) -> None:
+        """Truncate the phase script at the current time (tenant departure).
+
+        Every phase boundary is clamped to *now*, so ``_current_phase``
+        sees an expired script: the next pending arrival event is a
+        no-op and backpressure resumption stops rescheduling.  The
+        boundaries stay monotonic and ``duration_us`` reflects the
+        truncated script.  Idempotent; stopping a never-bound workload
+        truncates it to zero length.
+        """
+        now = self._sim.now if self._sim is not None else 0.0
+        self._bounds = [min(b, now) for b in self._bounds]
+        self.stats.finished = True
+
     def burst_intervals(self) -> list[int]:
         """Interval indices covered by scripted burst phases."""
         out: list[int] = []

@@ -35,6 +35,8 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from repro.io.request import Request
+from repro.service.churn import TenantLifecycle
+from repro.service.slo import SloTarget
 from repro.workloads.base import Workload, WorkloadStats
 from repro.workloads.bootstorm import boot_storm_workload
 from repro.workloads.mail import mail_server_workload
@@ -69,12 +71,16 @@ class TenantSpec:
             dedicated-cache rates).
         offset_intervals: Monitoring intervals to delay this VM's start.
         label: Optional display name (defaults to the child's own name).
+        lifecycle: Optional service declaration (mid-run arrival /
+            departure / migrations, SLO targets).  A lifecycle arrival
+            replaces ``offset_intervals`` — declaring both is an error.
     """
 
     factory: Callable[..., Workload]
     rate_scale: float = 1.0
     offset_intervals: int = 0
     label: Optional[str] = None
+    lifecycle: Optional[TenantLifecycle] = None
 
     def validate(self) -> None:
         """Raise ``ValueError`` on inconsistent parameters."""
@@ -82,6 +88,13 @@ class TenantSpec:
             raise ValueError("tenant rate_scale must be positive")
         if self.offset_intervals < 0:
             raise ValueError("tenant offset_intervals must be non-negative")
+        if self.lifecycle is not None:
+            self.lifecycle.validate()
+            if self.lifecycle.arrive_at_us is not None and self.offset_intervals > 0:
+                raise ValueError(
+                    "tenant offset_intervals and lifecycle arrive_at_us "
+                    "are mutually exclusive"
+                )
 
 
 class MultiTenantWorkload:
@@ -95,6 +108,10 @@ class MultiTenantWorkload:
             ``i * lba_stride_blocks``.
         offsets_us: Per-VM start delays (µs), aligned with ``children``;
             each delayed child's phase script is shifted to match.
+        lifecycles: Optional per-VM service declarations, aligned with
+            ``children``.  A lifecycle arrival overrides the tenant's
+            offset as its start time; departures and migrations are
+            executed mid-run by a :class:`~repro.service.churn.ChurnManager`.
     """
 
     def __init__(
@@ -103,6 +120,7 @@ class MultiTenantWorkload:
         children: Sequence[Workload],
         lba_stride_blocks: int,
         offsets_us: Optional[Sequence[float]] = None,
+        lifecycles: Optional[Sequence[Optional[TenantLifecycle]]] = None,
     ) -> None:
         if not children:
             raise ValueError("at least one tenant required")
@@ -117,13 +135,38 @@ class MultiTenantWorkload:
             # completion routing keys on the flat tenant_id; nesting would
             # overwrite the inner ids and misroute backpressure
             raise ValueError("nested multi-tenant composition is not supported")
+        lcs = list(lifecycles) if lifecycles is not None else [None] * len(children)
+        if len(lcs) != len(children):
+            raise ValueError("lifecycles must align with children")
         self.name = name
         self.children = list(children)
         self.lba_stride_blocks = int(lba_stride_blocks)
         self.offsets_us = offsets
-        for child, offset in zip(self.children, offsets):
-            if offset > 0:
-                child.shift(offset)
+        self.lifecycles: list[Optional[TenantLifecycle]] = lcs
+        starts: list[float] = []
+        for lifecycle, offset in zip(lcs, offsets):
+            if lifecycle is None or lifecycle.arrive_at_us is None:
+                start = offset
+            else:
+                if offset > 0:
+                    raise ValueError(
+                        "tenant offset and lifecycle arrive_at_us are "
+                        "mutually exclusive"
+                    )
+                start = lifecycle.arrive_at_us
+            if lifecycle is not None:
+                lifecycle.validate()
+                if (
+                    lifecycle.depart_at_us is not None
+                    and lifecycle.depart_at_us <= start
+                ):
+                    raise ValueError("tenant depart_at_us must follow its start")
+            starts.append(start)
+        #: Per-tenant effective start times (offset or lifecycle arrival).
+        self.start_times_us: list[float] = starts
+        for child, start in zip(self.children, starts):
+            if start > 0:
+                child.shift(start)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -170,7 +213,14 @@ class MultiTenantWorkload:
             else share_blocks * DEFAULT_LBA_STRIDE_FACTOR
         )
         offsets = [spec.offset_intervals * interval_us for spec in specs]
-        return cls(name, children, lba_stride_blocks=stride, offsets_us=offsets)
+        lifecycles = [spec.lifecycle for spec in specs]
+        return cls(
+            name,
+            children,
+            lba_stride_blocks=stride,
+            offsets_us=offsets,
+            lifecycles=lifecycles,
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -184,19 +234,69 @@ class MultiTenantWorkload:
         return max(child.duration_us for child in self.children)
 
     @property
+    def has_churn(self) -> bool:
+        """Whether any tenant schedules a mid-run lifecycle event."""
+        return any(lc is not None and lc.has_churn for lc in self.lifecycles)
+
+    def slo_targets(self) -> dict[int, SloTarget]:
+        """Declared SLO targets, keyed by ``tenant_id`` (may be empty)."""
+        return {
+            tid: lc.slo
+            for tid, lc in enumerate(self.lifecycles)
+            if lc is not None and lc.slo is not None
+        }
+
+    def _check_tenant(self, tenant_id: int) -> int:
+        if not 0 <= tenant_id < len(self.children):
+            raise KeyError(
+                f"unknown tenant_id {tenant_id} "
+                f"(composition has tenants 0..{len(self.children) - 1})"
+            )
+        return tenant_id
+
+    def tenant_region(self, tenant_id: int) -> tuple[int, int]:
+        """The tenant's half-open LBA region ``[lo, hi)``."""
+        tid = self._check_tenant(tenant_id)
+        lo = tid * self.lba_stride_blocks
+        return lo, lo + self.lba_stride_blocks
+
+    def tenant_warm_blocks(self, tenant_id: int) -> tuple[list[int], list[int]]:
+        """One tenant's ``(clean, dirty)`` warm sets, region-shifted."""
+        tid = self._check_tenant(tenant_id)
+        child = self.children[tid]
+        offset = tid * self.lba_stride_blocks
+        clean = [lba + offset for lba in getattr(child, "warm_blocks", ())]
+        dirty = [lba + offset for lba in getattr(child, "warm_dirty_blocks", ())]
+        return clean, dirty
+
+    def stop_tenant(self, tenant_id: int) -> None:
+        """Stop one tenant's arrival generation (departure)."""
+        self.children[self._check_tenant(tenant_id)].stop()
+
+    @property
     def warm_blocks(self) -> list[int]:
-        """All tenants' warm sets, shifted into their LBA regions."""
+        """Start-resident tenants' warm sets, shifted into their regions.
+
+        A tenant with a lifecycle arrival is excluded — its warm set is
+        re-warmed by the churn manager when it actually arrives.
+        """
         out: list[int] = []
         for tid, child in enumerate(self.children):
+            lifecycle = self.lifecycles[tid]
+            if lifecycle is not None and lifecycle.arrive_at_us is not None:
+                continue
             offset = tid * self.lba_stride_blocks
             out.extend(lba + offset for lba in getattr(child, "warm_blocks", ()))
         return out
 
     @property
     def warm_dirty_blocks(self) -> list[int]:
-        """All tenants' warm dirty sets, shifted into their LBA regions."""
+        """Start-resident tenants' warm dirty sets, region-shifted."""
         out: list[int] = []
         for tid, child in enumerate(self.children):
+            lifecycle = self.lifecycles[tid]
+            if lifecycle is not None and lifecycle.arrive_at_us is not None:
+                continue
             offset = tid * self.lba_stride_blocks
             out.extend(
                 lba + offset for lba in getattr(child, "warm_dirty_blocks", ())
@@ -216,15 +316,27 @@ class MultiTenantWorkload:
         agg.finished = all(child.stats.finished for child in self.children)
         return agg
 
-    def tenant_stats(self) -> dict[int, WorkloadStats]:
-        """Per-tenant arrival counters (keyed by ``tenant_id``)."""
-        return {tid: child.stats for tid, child in enumerate(self.children)}
+    def tenant_stats(
+        self, tenant_id: Optional[int] = None
+    ) -> dict[int, WorkloadStats] | WorkloadStats:
+        """Per-tenant arrival counters.
+
+        With no argument, returns the full ``{tenant_id: stats}`` map.
+        With a tenant id, returns that tenant's counters — raising
+        ``KeyError`` for an id the composition never had, rather than
+        fabricating an empty entry.  A *departed* tenant is still a
+        valid id: its counters reflect the arrivals it generated before
+        stopping.
+        """
+        if tenant_id is None:
+            return {tid: child.stats for tid, child in enumerate(self.children)}
+        return self.children[self._check_tenant(tenant_id)].stats
 
     def burst_intervals(self) -> list[int]:
-        """Union of the tenants' scripted burst windows, offset-adjusted."""
+        """Union of the tenants' scripted burst windows, start-adjusted."""
         out: set[int] = set()
-        for child, offset_us in zip(self.children, self.offsets_us):
-            shift = int(round(offset_us / child.interval_us)) if offset_us else 0
+        for child, start_us in zip(self.children, self.start_times_us):
+            shift = int(round(start_us / child.interval_us)) if start_us else 0
             out.update(i + shift for i in child.burst_intervals())
         return sorted(out)
 
@@ -242,14 +354,14 @@ class MultiTenantWorkload:
         happens regardless of tenant count).
         """
         base_seed = int(rng.integers(0, 2**62))
-        for tid, (child, offset_us) in enumerate(
-            zip(self.children, self.offsets_us)
+        for tid, (child, start_us) in enumerate(
+            zip(self.children, self.start_times_us)
         ):
             child_rng = np.random.default_rng(
                 np.random.SeedSequence(entropy=base_seed, spawn_key=(tid,))
             )
             wrapped = self._wrap_submit(submit, tid)
-            sim.schedule(offset_us, child.bind, sim, wrapped, child_rng)
+            sim.schedule(start_us, child.bind, sim, wrapped, child_rng)
 
     def _wrap_submit(
         self, submit: Callable[[Request], None], tenant_id: int

@@ -46,6 +46,14 @@ Each tenant's ``workload`` is either a registered workload name or a
 nested inline spec of this same schema (``phases`` form only — tenants
 cannot nest).
 
+Tenant entries may additionally declare a **service lifecycle** —
+``arrive_at_us`` / ``depart_at_us`` / ``migrate_at_us`` times and an
+``slo`` block (``p99_latency_us`` / ``min_hit_ratio``) — and a
+top-level ``churn`` block (``seed``, ``arrive_window_intervals``,
+``mean_lifetime_intervals``, ``min_lifetime_intervals``,
+``keep_first``) draws a seeded churn process for every tenant that did
+not declare explicit times.  See :mod:`repro.service`.
+
 :func:`workload_from_spec` builds a live
 :class:`~repro.workloads.base.Workload`; :func:`load_workload_spec`
 parses a JSON file first.  Unknown keys raise — specs are validated, not
@@ -239,6 +247,92 @@ def _resolve_tenant_factory(workload: Any, context: str) -> Callable:
     )
 
 
+def _lifecycle_from_entry(entry: Mapping[str, Any], context: str):
+    """A :class:`TenantLifecycle` from one tenant entry's service keys."""
+    from repro.service.churn import TenantLifecycle
+    from repro.service.slo import ServiceError, SloTarget
+
+    arrive = entry.get("arrive_at_us")
+    depart = entry.get("depart_at_us")
+    migrate = entry.get("migrate_at_us", [])
+    slo_spec = entry.get("slo")
+    if arrive is None and depart is None and not migrate and slo_spec is None:
+        return None
+    if not isinstance(migrate, list):
+        raise SpecError(f"{context}: migrate_at_us must be a list of times")
+    try:
+        slo = None if slo_spec is None else SloTarget.from_spec(slo_spec, context)
+        lifecycle = TenantLifecycle(
+            arrive_at_us=None if arrive is None else float(arrive),
+            depart_at_us=None if depart is None else float(depart),
+            migrate_at_us=tuple(float(t) for t in migrate),
+            slo=slo,
+        )
+        lifecycle.validate()
+    except ServiceError as exc:
+        raise SpecError(str(exc)) from None
+    except (TypeError, ValueError) as exc:
+        raise SpecError(f"{context}: {exc}") from None
+    return lifecycle
+
+
+def _apply_churn_block(
+    churn_spec: Mapping[str, Any], tenant_specs: list, interval_us: float
+) -> None:
+    """Fill tenant lifecycles from a seeded ``churn`` process block.
+
+    Explicit per-tenant churn times win over generated ones; a tenant
+    that only declared an SLO adopts the generated times alongside it.
+    """
+    from repro.service.churn import TenantLifecycle, generate_lifecycles
+    from repro.service.slo import ServiceError
+
+    _check_keys(
+        churn_spec,
+        {
+            "seed",
+            "arrive_window_intervals",
+            "mean_lifetime_intervals",
+            "min_lifetime_intervals",
+            "keep_first",
+        },
+        "churn",
+    )
+    try:
+        generated = generate_lifecycles(
+            len(tenant_specs),
+            interval_us,
+            seed=int(_require(churn_spec, "seed", "churn")),
+            arrive_window_intervals=float(
+                churn_spec.get("arrive_window_intervals", 10.0)
+            ),
+            mean_lifetime_intervals=float(
+                churn_spec.get("mean_lifetime_intervals", 40.0)
+            ),
+            min_lifetime_intervals=float(
+                churn_spec.get("min_lifetime_intervals", 5.0)
+            ),
+            keep_first=bool(churn_spec.get("keep_first", True)),
+        )
+    except ServiceError as exc:
+        raise SpecError(f"churn: {exc}") from None
+    for i, tenant in enumerate(tenant_specs):
+        if tenant.offset_intervals:
+            raise SpecError(
+                f"tenants[{i}]: offset_intervals cannot be combined with a "
+                "churn block (arrival times come from the process)"
+            )
+        if tenant.lifecycle is None:
+            tenant.lifecycle = generated[i]
+        elif not tenant.lifecycle.has_churn:
+            tenant.lifecycle = TenantLifecycle(
+                arrive_at_us=generated[i].arrive_at_us,
+                depart_at_us=generated[i].depart_at_us,
+                migrate_at_us=generated[i].migrate_at_us,
+                slo=tenant.lifecycle.slo,
+            )
+
+
 def _multi_tenant_from_spec(
     spec: Mapping[str, Any],
     interval_us: float,
@@ -251,7 +345,7 @@ def _multi_tenant_from_spec(
 
     _check_keys(
         spec,
-        {"name", "tenants", "lba_stride_blocks", "max_outstanding"},
+        {"name", "tenants", "lba_stride_blocks", "max_outstanding", "churn"},
         "tenant workload spec",
     )
     entries = _require(spec, "tenants", "tenant workload spec")
@@ -263,7 +357,18 @@ def _multi_tenant_from_spec(
         if not isinstance(entry, Mapping):
             raise SpecError(f"{context}: expected a mapping")
         _check_keys(
-            entry, {"workload", "rate_scale", "offset_intervals", "label"}, context
+            entry,
+            {
+                "workload",
+                "rate_scale",
+                "offset_intervals",
+                "label",
+                "arrive_at_us",
+                "depart_at_us",
+                "migrate_at_us",
+                "slo",
+            },
+            context,
         )
         tenant_specs.append(
             TenantSpec(
@@ -273,23 +378,34 @@ def _multi_tenant_from_spec(
                 rate_scale=float(entry.get("rate_scale", 1.0)),
                 offset_intervals=int(entry.get("offset_intervals", 0)),
                 label=entry.get("label"),
+                lifecycle=_lifecycle_from_entry(entry, context),
             )
         )
+    churn_spec = spec.get("churn")
+    if churn_spec is not None:
+        if not isinstance(churn_spec, Mapping):
+            raise SpecError("tenant workload spec: churn must be a mapping")
+        _apply_churn_block(churn_spec, tenant_specs, interval_us)
     resolved_outstanding = int(
         spec.get(
             "max_outstanding", 256 if max_outstanding is None else max_outstanding
         )
     )
     stride = spec.get("lba_stride_blocks")
-    return MultiTenantWorkload.compose(
-        str(spec.get("name", "spec_scenario")),
-        tenant_specs,
-        interval_us,
-        cache_blocks=cache_blocks,
-        rate_scale=rate_scale,
-        max_outstanding=resolved_outstanding,
-        lba_stride_blocks=None if stride is None else int(stride),
-    )
+    try:
+        return MultiTenantWorkload.compose(
+            str(spec.get("name", "spec_scenario")),
+            tenant_specs,
+            interval_us,
+            cache_blocks=cache_blocks,
+            rate_scale=rate_scale,
+            max_outstanding=resolved_outstanding,
+            lba_stride_blocks=None if stride is None else int(stride),
+        )
+    except SpecError:
+        raise
+    except ValueError as exc:
+        raise SpecError(f"tenant workload spec: {exc}") from None
 
 
 def workload_from_spec(

@@ -26,11 +26,12 @@ from repro.campaign import (
     status_table,
 )
 from repro.campaign.cli import main as campaign_main
-from repro.store import RunKey, RunStore
+from repro.store import RunArtifact, RunKey, RunStore
 
 _REPO = Path(__file__).resolve().parent.parent
 _GOLDEN_PATH = _REPO / "benchmarks" / "golden" / "suite_quick.json"
 _SMOKE_CAMPAIGN = _REPO / "examples" / "campaigns" / "smoke.json"
+_CHURN_CAMPAIGN = _REPO / "examples" / "campaigns" / "churn.json"
 
 
 def tiny_campaign(store: str | None = None) -> CampaignSpec:
@@ -158,6 +159,98 @@ class TestRunAndResume:
         )
         assert len(run.simulated) == 3
         assert len(store.digests()) == 3
+
+
+def churn_campaign(store: str | None = None) -> CampaignSpec:
+    """A fast churn campaign: one mid-run arrival + departure, two schemes."""
+    workload = {
+        "name": "churn_tiny",
+        "tenants": [
+            {
+                "workload": "web",
+                "rate_scale": 0.5,
+                "slo": {"min_hit_ratio": 0.2},
+            },
+            {
+                "workload": "web",
+                "rate_scale": 0.5,
+                "arrive_at_us": 30000.0,
+                "depart_at_us": 90000.0,
+                "slo": {"p99_latency_us": 400000.0},
+            },
+        ],
+    }
+    return CampaignSpec(
+        name="churn_tiny",
+        description="churn scheme sweep for tests",
+        store=store,
+        scenarios=[
+            {
+                "name": "churn_sweep",
+                "base": "quick",
+                "horizon_intervals": 8,
+                "workload": workload,
+                "sweep": {"scheme": ["wb", "slosteal"]},
+            }
+        ],
+    )
+
+
+class TestChurnResume:
+    """A churn campaign killed mid-sweep must resume from the store to a
+    bit-identical artifact — churn counters and SLO series included."""
+
+    def test_killed_churn_campaign_resumes_identically(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        campaign = churn_campaign()
+        first = run_campaign(campaign, store, verbose=False)
+        assert len(first.simulated) == 2 and first.hits == []
+        # emulate a kill that lost the last shard's artifact
+        specs = campaign.expand()
+        store.path_for(RunKey.for_spec(specs[-1])).unlink()
+        resumed = run_campaign(campaign, store, verbose=False)
+        assert resumed.simulated == [specs[-1].name]
+        assert sorted(resumed.hits) == sorted(s.name for s in specs[:-1])
+        for name, artifact in first.artifacts.items():
+            again = resumed.artifacts[name]
+            assert again.fingerprint == artifact.fingerprint
+            assert again.service == artifact.service
+
+    def test_churn_artifact_carries_service_section(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        campaign = churn_campaign()
+        run_campaign(campaign, store, verbose=False)
+        for spec in campaign.expand():
+            artifact = store.get(RunKey.for_spec(spec))
+            churn = artifact.service["churn"]
+            assert churn["arrivals"] == 1 and churn["departures"] == 1
+            assert churn["departed"] == [1]
+            assert artifact.service["slo"]["stats"]["n_samples"] > 0
+            assert artifact.fingerprint["service_stats"] == churn
+            # strict round-trip, service section included
+            again = RunArtifact.from_dict(
+                json.loads(json.dumps(artifact.to_dict()))
+            )
+            assert again.service == artifact.service
+            # legacy payloads without the key still rehydrate
+            legacy = artifact.to_dict()
+            legacy.pop("service")
+            assert RunArtifact.from_dict(legacy).service == {}
+
+    def test_parallel_churn_campaign_matches_serial(self, tmp_path):
+        serial = run_campaign(
+            churn_campaign(), RunStore(tmp_path / "a"), jobs=1, verbose=False
+        )
+        parallel = run_campaign(
+            churn_campaign(), RunStore(tmp_path / "b"), jobs=2, verbose=False
+        )
+        assert {
+            name: art.fingerprint for name, art in serial.artifacts.items()
+        } == {name: art.fingerprint for name, art in parallel.artifacts.items()}
+
+    def test_example_churn_campaign_file_is_valid(self):
+        campaign = load_campaign(_CHURN_CAMPAIGN)
+        assert len(campaign.expand()) == 8
 
 
 class TestStatusAndReport:

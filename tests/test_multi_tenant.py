@@ -148,6 +148,46 @@ class TestPerTenantAccounting:
         assert abs(c0 - c1) / max(c0, c1) < 0.25
 
 
+class TestTenantStatsLookup:
+    """``tenant_stats`` must raise for an id the composition never had —
+    fabricating an empty entry silently mislabels analysis code — while
+    a departed tenant's id stays valid with its pre-departure counters."""
+
+    def test_full_map_without_argument(self):
+        wl = consolidated3_workload(15_000.0, cache_blocks=1024)
+        stats = wl.tenant_stats()
+        assert sorted(stats) == [0, 1, 2]
+
+    def test_never_existent_tenant_raises(self):
+        wl = consolidated3_workload(15_000.0, cache_blocks=1024)
+        with pytest.raises(KeyError, match="tenants 0..2"):
+            wl.tenant_stats(3)
+        with pytest.raises(KeyError):
+            wl.tenant_stats(-1)
+
+    def test_single_tenant_lookup_matches_map(self):
+        wl = consolidated3_workload(15_000.0, cache_blocks=1024)
+        assert wl.tenant_stats(1) is wl.tenant_stats()[1]
+
+    def test_departed_tenant_stats_stay_readable(self):
+        wl = consolidated3_workload(15_000.0, cache_blocks=1024)
+        wl.stop_tenant(2)
+        stats = wl.tenant_stats(2)
+        assert stats.finished
+        assert wl.tenant_stats(2) is wl.children[2].stats
+
+    def test_service_lookups_check_tenant_ids_too(self):
+        wl = consolidated3_workload(15_000.0, cache_blocks=1024)
+        with pytest.raises(KeyError):
+            wl.tenant_region(7)
+        with pytest.raises(KeyError):
+            wl.tenant_warm_blocks(7)
+        with pytest.raises(KeyError):
+            wl.stop_tenant(7)
+        lo, hi = wl.tenant_region(1)
+        assert (lo, hi) == (wl.lba_stride_blocks, 2 * wl.lba_stride_blocks)
+
+
 class TestConsolidatedScenarios:
     def test_lbica_beats_wb_on_consolidated3(self, consolidated_result):
         lbica = ExperimentRunner(quick_config()).run("consolidated3", "lbica")

@@ -305,6 +305,113 @@ class TestCanonicalEquivalence:
             ), f"{name} diverges from golden {cell}"
 
 
+CHURN_GOLDEN = json.loads(
+    (_REPO / "benchmarks" / "golden" / "churn_quick.json").read_text()
+)
+
+
+class TestChurnScenarios:
+    """The churn scenarios are pinned by their own committed golden:
+    arrivals, departures, reclaim counters, and the SLO compliance
+    series are all part of the fingerprint and must stay bit-identical
+    across runs, process counts, and sessions."""
+
+    def test_registered_builtin_matches_example_file(self):
+        assert load_scenario(
+            EXAMPLES / "churn_consolidated.json"
+        ) == get_scenario("churn_consolidated")
+
+    def test_churn_consolidated_matches_golden(self):
+        result = load_scenario(EXAMPLES / "churn_consolidated.json").run()
+        fingerprint = _normalized(stats_fingerprint(result))
+        assert "slo_compliance" in fingerprint
+        assert "service_stats" in fingerprint
+        assert fingerprint == CHURN_GOLDEN["scenarios"]["churn_consolidated"]
+
+    def test_churn_process_matches_golden(self):
+        result = load_scenario(EXAMPLES / "churn_process.json").run()
+        assert (
+            _normalized(stats_fingerprint(result))
+            == CHURN_GOLDEN["scenarios"]["churn_process"]
+        )
+
+    def test_churn_run_twice_bit_identical(self):
+        spec = get_scenario("churn_consolidated")
+        a, b = spec.run(), spec.run()
+        assert stats_fingerprint(a) == stats_fingerprint(b)
+        assert a.slo_series == b.slo_series
+        assert a.service_stats == b.service_stats
+
+    def test_churn_serial_vs_parallel_identical(self):
+        specs = [
+            get_scenario("churn_consolidated"),
+            load_scenario(EXAMPLES / "churn_process.json"),
+        ]
+        serial = run_spec_grid(specs, max_workers=1)
+        parallel = run_spec_grid(specs, max_workers=2)
+        assert {n: stats_fingerprint(r) for n, r in serial.items()} == {
+            n: stats_fingerprint(r) for n, r in parallel.items()
+        }
+        assert {n: r.slo_series for n, r in serial.items()} == {
+            n: r.slo_series for n, r in parallel.items()
+        }
+
+    def test_churn_counters_reflect_lifecycles(self):
+        result = get_scenario("churn_consolidated").run()
+        stats = result.service_stats
+        assert stats["arrivals"] == 1
+        assert stats["departures"] == 1
+        assert stats["departed"] == [2]
+        assert stats["blocks_reclaimed"] > 0
+        assert stats["blocks_rewarmed"] > 0
+        # all three tenants declared SLOs; the monitor tracked each
+        assert set(result.slo_stats["tenants"]) == {"0", "1", "2"}
+        # the late arrival is judged over fewer intervals than tenant 0
+        tenants = result.slo_stats["tenants"]
+        assert tenants["1"]["intervals"] < tenants["0"]["intervals"]
+
+    def test_non_churn_fingerprints_have_no_service_keys(self):
+        spec = _quick_spec(
+            {
+                "name": "plain",
+                "workload": "web",
+                "base": "quick",
+                "horizon_intervals": 2,
+            }
+        )
+        fingerprint = stats_fingerprint(spec.run())
+        assert "slo_compliance" not in fingerprint
+        assert "service_stats" not in fingerprint
+
+    def test_churn_spec_validation_errors(self):
+        base = {
+            "name": "x",
+            "base": "quick",
+            "workload": {
+                "name": "w",
+                "tenants": [{"workload": "web", "slo": {"bogus": 1}}],
+            },
+        }
+        with pytest.raises(ValueError, match="unknown slo keys"):
+            _quick_spec(base)
+        bad_depart = json.loads(json.dumps(base))
+        bad_depart["workload"]["tenants"][0] = {
+            "workload": "web",
+            "arrive_at_us": 100.0,
+            "depart_at_us": 50.0,
+        }
+        with pytest.raises(ValueError, match="depart"):
+            _quick_spec(bad_depart)
+        churn_offset = json.loads(json.dumps(base))
+        churn_offset["workload"]["tenants"][0] = {
+            "workload": "web",
+            "offset_intervals": 2,
+        }
+        churn_offset["workload"]["churn"] = {"seed": 3}
+        with pytest.raises(ValueError, match="offset_intervals"):
+            _quick_spec(churn_offset)
+
+
 class TestSpecVsCodeBuilt:
     def test_spec_run_equals_code_built_run(self):
         # direct (non-golden) equivalence, including a system override

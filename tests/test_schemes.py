@@ -42,6 +42,7 @@ from repro.schemes import (
 from repro.schemes.allocation import fair_shares, proportional_shares
 from repro.schemes.dynshare import DynShareConfig
 from repro.schemes.partition import PartitionConfig
+from repro.schemes.slosteal import SloStealConfig, SloStealScheme
 
 _REPO = Path(__file__).resolve().parent.parent
 GOLDEN = json.loads(
@@ -58,7 +59,14 @@ def _normalized(stats: dict) -> dict:
 
 class TestRegistry:
     def test_builtin_names_and_order(self):
-        assert scheme_names() == ("wb", "sib", "lbica", "partition", "dynshare")
+        assert scheme_names() == (
+            "wb",
+            "sib",
+            "lbica",
+            "partition",
+            "dynshare",
+            "slosteal",
+        )
         assert paper_schemes() == ("wb", "sib", "lbica")
         assert SCHEMES == ("wb", "sib", "lbica")
 
@@ -68,6 +76,7 @@ class TestRegistry:
         assert get_scheme("lbica") is LbicaController
         assert get_scheme("partition") is StaticPartitionScheme
         assert get_scheme("dynshare") is DynamicShareScheme
+        assert get_scheme("slosteal") is SloStealScheme
 
     def test_unknown_scheme_names_registry_and_lists_entries(self):
         with pytest.raises(ValueError) as err:
@@ -356,6 +365,77 @@ class TestDynamicShareScheme:
         a = stats_fingerprint(spec.run())
         b = stats_fingerprint(spec.run())
         assert _normalized(a) == _normalized(b)
+
+
+class TestSloStealScheme:
+    def test_steals_toward_slo_violator(self):
+        from repro.scenario import get_scenario
+
+        system = get_scenario("churn_consolidated").build()
+        result = system.run(until_us=60 * system.config.interval_us)
+        scheme = system.balancer
+        stats = result.scheme_stats
+        assert result.completed > 0
+        assert stats["declared_targets"] == [0, 1, 2]
+        assert stats["reallocations"] > 0
+        assert stats["blocks_moved"] > 0
+        # every decision moved share from a donor to the worst violator
+        for decision in result.scheme_decisions:
+            if decision.moved_blocks:
+                assert decision.from_tenant != decision.to_tenant
+                assert decision.violations
+        # shares stay within capacity and above the configured floor
+        total = sum(scheme.shares.values())
+        assert total <= system.store.capacity_blocks
+        assert all(
+            share >= scheme.config.min_share_blocks
+            for share in scheme.shares.values()
+        )
+
+    def test_departed_tenant_leaves_share_map(self):
+        from repro.scenario import get_scenario
+
+        system = get_scenario("churn_consolidated").build()
+        system.run(until_us=60 * system.config.interval_us)
+        scheme = system.balancer
+        assert 2 not in scheme.shares
+        assert 2 not in scheme.allocator.quotas
+        assert scheme.allocator.occupancy().get(2, 0) == 0
+
+    def test_runs_without_declared_slos(self):
+        # no targets anywhere: the scheme degrades to latency fairness
+        # (fleet-mean p99 ratios) and must still run deterministically
+        spec = ScenarioSpec(
+            name="nolo",
+            workload="consolidated3",
+            scheme="slosteal",
+            base="quick",
+            horizon_intervals=20,
+        )
+        a = stats_fingerprint(spec.run())
+        b = stats_fingerprint(spec.run())
+        assert _normalized(a) == _normalized(b)
+        assert a["completed"] > 0
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            SloStealConfig(decision_interval_us=0.0).validate()
+        with pytest.raises(ValueError):
+            SloStealConfig(min_share_blocks=0).validate()
+        with pytest.raises(ValueError):
+            SloStealConfig(max_step_blocks=0).validate()
+        with pytest.raises(ValueError):
+            SloStealConfig(donor_headroom=1.5).validate()
+
+    def test_detach_removes_completion_hook(self):
+        system = ExperimentSystem.build(
+            "consolidated3", "slosteal", quick_config()
+        )
+        hook = system.balancer._record_completion
+        assert hook in system.controller._completion_hooks
+        system.balancer.detach()
+        assert hook not in system.controller._completion_hooks
+        assert system.controller.allocator is None
 
 
 class TestSchemeCompare:

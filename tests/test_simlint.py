@@ -358,6 +358,7 @@ def test_mypy_config_covers_the_sim_core():
         "repro.sim.*",
         "repro.cache.*",
         "repro.schemes.*",
+        "repro.service.*",
         "repro.store.*",
     }
     for flag in (
