@@ -301,6 +301,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="compare stats fingerprints against this golden file; exit 1 on divergence",
     )
     parser.add_argument(
+        "--profile",
+        default=None,
+        metavar="DIR",
+        help=(
+            "after the suite, re-run each selected single-run scenario "
+            "under benchmarks/profile.py and drop the pstats/collapsed/"
+            "table artifacts into DIR (grid_fanout is skipped: its work "
+            "happens in child processes the profiler cannot see)"
+        ),
+    )
+    parser.add_argument(
         "--update-golden",
         default=None,
         metavar="PATH",
@@ -335,6 +346,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 print(f"[suite] GOLDEN DIVERGENCE: {p}", file=sys.stderr)
             return 1
         print(f"[suite] stats match golden {args.golden}")
+
+    if args.profile:
+        # profile.py owns the cProfile/pstats imports (simlint SL009); it
+        # is loaded by path under a non-clashing name because `profile`
+        # would shadow the stdlib module cProfile depends on.
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            "bench_profile", Path(__file__).resolve().parent / "profile.py"
+        )
+        assert spec is not None and spec.loader is not None
+        bench_profile = importlib.util.module_from_spec(spec)
+        sys.modules["bench_profile"] = bench_profile
+        spec.loader.exec_module(bench_profile)
+        profile_dir = Path(args.profile)
+        for name in args.scenarios or sorted(SCENARIOS):
+            if name == "grid_fanout":
+                continue
+            print(f"[suite] profiling {name} ...", flush=True)
+            result = bench_profile.profile_scenario(
+                name, quick=args.quick, seed=args.seed
+            )
+            for kind, path in sorted(result.write(profile_dir).items()):
+                print(f"[suite]   {kind}: {path}")
     return 0
 
 

@@ -11,10 +11,12 @@ as the device's service time (``svctm``) — the ``ssdLatency`` /
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from heapq import heappush
 from typing import Callable, Optional, Protocol
 
 from repro.io.device_queue import DeviceQueue
 from repro.io.request import DeviceOp
+from repro.sim.engine import _NO_EVENT
 
 __all__ = ["ServiceModel", "StorageDevice", "DeviceStats"]
 
@@ -31,7 +33,7 @@ class ServiceModel(Protocol):
         ...
 
 
-@dataclass
+@dataclass(slots=True)
 class DeviceStats:
     """Lifetime counters for one device."""
 
@@ -105,17 +107,52 @@ class StorageDevice:
         self._lat_read = model.nominal_read_us
         self._lat_write = model.nominal_write_us
         self._paused_until = 0.0
-        self._observers: list[Callable[[DeviceOp, str], None]] = []
+        # Observers are registered per transition so the hot loops pay
+        # one positional call per record, no transition-string dispatch.
+        self._q_observers: list[Callable[[DeviceOp], None]] = []
+        self._d_observers: list[Callable[[DeviceOp], None]] = []
+        self._c_observers: list[Callable[[DeviceOp], None]] = []
 
     # ------------------------------------------------------------------
     # Submission / dispatch
     # ------------------------------------------------------------------
     def submit(self, op: DeviceOp) -> None:
         """Enqueue an operation and kick the dispatcher."""
-        merged = self.queue.push(op, self.sim.now)
-        for fn in self._observers:
-            fn(op, "queue")
+        queue = self.queue
+        now = self.sim.now
+        # Inlined DeviceQueue.push — one call per device op; the method
+        # remains the reference implementation for every other caller.
+        # Occupancy integral, accounting, tail back-merge, append:
+        pending = queue.pending
+        inflight = queue.inflight
+        last = queue._last_change
+        if now > last:
+            queue._area += (len(pending) + len(inflight)) * (now - last)
+            queue._last_change = now
+        op.enqueue_time = now
+        qstats = queue.stats
+        qstats.enqueued += 1
+        qstats.by_tag[op.tag] += 1
+        merged = False
+        max_merge = queue.max_merge_blocks
+        if max_merge and pending:
+            tail = pending[-1]
+            if tail.can_merge_back(op, max_merge):
+                tail.absorb(op)
+                qstats.merged += 1
+                merged = True
         if not merged:
+            pending.append(op)
+            qsize = len(pending) + len(inflight)
+            if qsize > queue._window_max:
+                queue._window_max = qsize
+        observers = self._q_observers
+        if observers:
+            for fn in observers:
+                fn(op)
+        # Saturated devices skip the dispatcher call outright — the next
+        # completion re-kicks it (same early-out _dispatch would take).
+        if not merged and len(inflight) < self.depth:
             self._dispatch()
 
     def _dispatch(self) -> None:
@@ -132,31 +169,96 @@ class StorageDevice:
         if now < self._paused_until:
             return
         # Inner loop runs once per dispatched op; hoist every attribute
-        # chain that is loop-invariant.
-        observers = self._observers
+        # chain that is loop-invariant.  DeviceQueue.pop_next is inlined
+        # (the occupancy integral only moves on the first iteration —
+        # after that ``now == last_change``).
+        observers = self._d_observers
         service_time = self.model.service_time
-        schedule = self.sim.schedule_call  # completions are never cancelled
         complete = self._complete
         stats = self.stats
+        pending = queue.pending
+        qstats = queue.stats
+        first_op = None
+        first_service = 0.0
+        batch = None
         while len(inflight) < depth:
-            op = queue.pop_next(now)
-            if op is None:
-                return
+            if not pending:
+                break
+            last = queue._last_change
+            if now > last:
+                queue._area += (len(pending) + len(inflight)) * (now - last)
+                queue._last_change = now
+            op = pending.popleft()
+            op.dispatch_time = now
+            inflight.add(op.op_id)
+            qstats.dispatched += 1
             service = service_time(op, now)
             if service < 0:
                 raise ValueError(f"{self.name}: negative service time {service}")
             stats.busy_time += service
-            for fn in observers:
-                fn(op, "issue")
-            schedule(service, complete, op, service)
+            if observers:
+                for fn in observers:
+                    fn(op)
+            if first_op is None:
+                first_op, first_service = op, service
+            else:
+                if batch is None:
+                    batch = [(first_service, complete, (first_op, first_service))]
+                batch.append((service, complete, (op, service)))
+        # One dispatch round enters the calendar as a single block: the
+        # seq numbers match the per-op schedule_call sequence exactly
+        # (nothing else schedules between ops of one round).
+        if batch is not None:
+            self.sim.schedule_calls(batch)
+        elif first_op is not None:
+            # Completions are never cancelled.  Inlined
+            # sim.schedule_call(first_service, complete, op, service):
+            # the single-op round is the dominant dispatch outcome, and
+            # service >= 0 was already checked above.
+            sim = self.sim
+            seq = sim._seq
+            sim._seq = seq + 1
+            entry = (
+                now + first_service,
+                seq,
+                complete,
+                (first_op, first_service),
+                _NO_EVENT,
+            )
+            heappush(sim._heap, entry)
 
     def _complete(self, op: DeviceOp, service: float) -> None:
         now = self.sim.now
-        self.queue.complete(op, now)
-        self.stats.record(op, service)
-        self._update_latency(op, service)
-        for fn in self._observers:
-            fn(op, "complete")
+        queue = self.queue
+        # Inlined DeviceQueue.complete (occupancy integral + retire).
+        last = queue._last_change
+        if now > last:
+            queue._area += (len(queue.pending) + len(queue.inflight)) * (now - last)
+            queue._last_change = now
+        queue.inflight.discard(op.op_id)
+        op.complete_time = now
+        queue.stats.completed += 1
+        # Inlined stats.record + _update_latency (both run exactly once
+        # per completion; the methods remain for other callers).
+        stats = self.stats
+        nblocks = op.nblocks
+        a = self._ewma_alpha
+        if op.is_write:
+            stats.writes += 1
+            stats.blocks_written += nblocks
+            self._lat_write = (1 - a) * self._lat_write + a * service
+        else:
+            stats.reads += 1
+            stats.blocks_read += nblocks
+            self._lat_read = (1 - a) * self._lat_read + a * service
+        stats.total_service_time += service
+        by_tag = stats.completions_by_tag
+        tag = op.tag
+        by_tag[tag] = by_tag.get(tag, 0) + 1
+        observers = self._c_observers
+        if observers:
+            for fn in observers:
+                fn(op)
         merged = op.merged
         if merged:
             for child in (op, *merged):
@@ -164,7 +266,10 @@ class StorageDevice:
                     child.on_complete(child)
         elif op.on_complete is not None:
             op.on_complete(op)
-        self._dispatch()
+        # Inlined _dispatch early-out: after most completions the pending
+        # queue is empty (on_complete may have pushed, so re-read it).
+        if queue.pending:
+            self._dispatch()
 
     # ------------------------------------------------------------------
     # Pausing (models controller overhead, e.g. SIB's selection scans)
@@ -221,9 +326,28 @@ class StorageDevice:
 
         Observer dispatch is inlined at the three transition sites
         (:meth:`submit`, ``_dispatch``, ``_complete``) — they run once
-        per device op.
+        per device op.  Internally one wrapper per transition is stored;
+        a tracer that wants the raw per-transition call (no transition
+        string, no extra frame) uses :meth:`add_transition_observer`.
         """
-        self._observers.append(fn)
+        self._q_observers.append(lambda op, _fn=fn: _fn(op, "queue"))
+        self._d_observers.append(lambda op, _fn=fn: _fn(op, "issue"))
+        self._c_observers.append(lambda op, _fn=fn: _fn(op, "complete"))
+
+    def add_transition_observer(
+        self, transition: str, fn: Callable[[DeviceOp], None]
+    ) -> None:
+        """Register ``fn(op)`` for one ``queue``/``issue``/``complete``
+        transition — the allocation-free fast path used by the tracer."""
+        try:
+            observers = {
+                "queue": self._q_observers,
+                "issue": self._d_observers,
+                "complete": self._c_observers,
+            }[transition]
+        except KeyError:
+            raise ValueError(f"unknown transition {transition!r}") from None
+        observers.append(fn)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"StorageDevice({self.name!r}, qsize={self.qsize})"

@@ -32,7 +32,7 @@ from repro.io.request import DeviceOp
 __all__ = ["HddConfig", "HddModel"]
 
 
-@dataclass
+@dataclass(slots=True)
 class HddConfig:
     """Parameters of the HDD service model (times in µs)."""
 

@@ -15,6 +15,8 @@ the *relationships* the mechanism needs:
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.devices.hdd import HddConfig, HddModel
 from repro.devices.ssd import SsdConfig, SsdModel
 
@@ -46,9 +48,9 @@ HDD_PRESET = HddConfig(
 
 def samsung_863a_like(rng=None) -> SsdModel:
     """An :class:`~repro.devices.ssd.SsdModel` with the default preset."""
-    return SsdModel(SsdConfig(**vars(SSD_PRESET)), rng=rng)
+    return SsdModel(replace(SSD_PRESET), rng=rng)
 
 
 def seagate_7200_like(rng=None) -> HddModel:
     """An :class:`~repro.devices.hdd.HddModel` with the default preset."""
-    return HddModel(HddConfig(**vars(HDD_PRESET)), rng=rng)
+    return HddModel(replace(HDD_PRESET), rng=rng)

@@ -30,7 +30,7 @@ from repro.io.request import DeviceOp
 __all__ = ["SsdConfig", "SsdModel"]
 
 
-@dataclass
+@dataclass(slots=True)
 class SsdConfig:
     """Parameters of the SSD service model (all times in µs)."""
 
@@ -69,6 +69,12 @@ class SsdModel:
         self.rng = rng
         self._bucket = 0.0  # write-intensity leaky bucket (blocks)
         self._bucket_time = 0.0
+        # Jitter multipliers are drawn in blocks: one ``lognormal(size=n)``
+        # call produces bit-identical values to n scalar calls, and the
+        # ``ssd.jitter`` registry stream is exclusively ours, so buffering
+        # ahead of simulated time cannot perturb any other stream.
+        self._jitter_buf: list[float] = []
+        self._jitter_pos = 0
 
     # -- write-pressure tracking ---------------------------------------
     def _decay_bucket(self, now: float) -> None:
@@ -107,16 +113,33 @@ class SsdModel:
 
     def service_time(self, op: DeviceOp, now: float) -> float:
         """Price one operation and update write-pressure state."""
+        # Once per dispatched op: the bucket decay (same arithmetic as
+        # _decay_bucket, np.exp pinned) and the cliff interpolation are
+        # inlined rather than paying two method calls.
         cfg = self.config
         nblocks = op.nblocks
+        bucket = self._bucket
+        dt = now - self._bucket_time
+        if dt > 0:
+            if bucket != 0.0:
+                bucket = self._bucket = bucket * float(np.exp(-dt / cfg.gc_decay_us))
+            self._bucket_time = now
         if op.is_write:
-            base = self.current_write_cost(now)
-            self._bucket += nblocks
+            level = min(bucket / cfg.gc_knee_blocks, 1.0)
+            base = cfg.write_us + level * (cfg.cliff_write_us - cfg.write_us)
+            self._bucket = bucket + nblocks
         else:
-            self._decay_bucket(now)
             base = cfg.read_us
         total = base + cfg.per_block_us * max(nblocks - 1, 0)
         rng = self.rng
         if rng is not None and cfg.jitter_sigma > 0:
-            total *= float(rng.lognormal(0.0, cfg.jitter_sigma))
+            pos = self._jitter_pos
+            buf = self._jitter_buf
+            if pos == len(buf):
+                buf = self._jitter_buf = rng.lognormal(
+                    0.0, cfg.jitter_sigma, 256
+                ).tolist()
+                pos = 0
+            self._jitter_pos = pos + 1
+            total *= buf[pos]
         return total

@@ -26,6 +26,7 @@ __all__ = [
     "ConfigMutationRule",
     "HotPathRule",
     "PrintRule",
+    "ProfilerImportRule",
 ]
 
 #: The deterministic simulation core: everything here must be a pure
@@ -493,3 +494,41 @@ class PrintRule(Rule):
             and isinstance(test.comparators[0], ast.Constant)
             and test.comparators[0].value == "__main__"
         )
+
+
+@register_rule
+class ProfilerImportRule(Rule):
+    code = "SL009"
+    title = "cProfile/pstats import only in the profiling harness"
+    explanation = (
+        "benchmarks/profile.py is the one sanctioned import site for\n"
+        "cProfile and pstats.  A profiler import anywhere else means\n"
+        "instrumentation is creeping into library or benchmark code: the\n"
+        "hot paths must stay hook-free (cProfile's tracing slows this\n"
+        "simulator's run loop ~4x, so any always-on profiling silently\n"
+        "poisons BENCH numbers), and ad-hoc profiling scripts rot where\n"
+        "the harness stays tested.  Profile through\n"
+        "benchmarks/profile.py (or suite.py --profile DIR) instead."
+    )
+
+    _FORBIDDEN = {"cProfile", "pstats"}
+    _SANCTIONED = "benchmarks.profile"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if ctx.module == self._SANCTIONED:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                names = [alias.name.split(".")[0] for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                names = [(node.module or "").split(".")[0]]
+            else:
+                continue
+            for name in names:
+                if name in self._FORBIDDEN:
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"{name!r} imported outside the profiling harness; "
+                        "profile through benchmarks/profile.py",
+                    )

@@ -335,6 +335,7 @@ class ExperimentSystem:
         workload,
         scheme: str,
         config: SystemConfig,
+        trace_records: bool = True,
     ) -> None:
         # Resolve up front so an unknown name fails before any wiring —
         # the error names the registry and lists what *is* registered.
@@ -379,7 +380,10 @@ class ExperimentSystem:
         self.controller = CacheController(
             self.sim, self.ssd, self.hdd, self.store, policy=WritePolicy.WB
         )
-        self.tracer = BlkTracer(self.sim)
+        # ``trace_records=False`` keeps the tracer in counters-only mode
+        # (no per-transition record retention); batch runs use it since
+        # records feed only post-hoc capture/replay, never the stats.
+        self.tracer = BlkTracer(self.sim, record_events=trace_records)
         self.tracer.attach(self.ssd)
         self.tracer.attach(self.hdd)
         self.monitor = IostatMonitor(
@@ -429,7 +433,11 @@ class ExperimentSystem:
     # ------------------------------------------------------------------
     @classmethod
     def build(
-        cls, workload_name: str, scheme: str, config: SystemConfig
+        cls,
+        workload_name: str,
+        scheme: str,
+        config: SystemConfig,
+        trace_records: bool = True,
     ) -> "ExperimentSystem":
         """Construct a system from a registered workload name.
 
@@ -445,7 +453,7 @@ class ExperimentSystem:
             rate_scale=config.rate_scale,
             max_outstanding=config.max_outstanding,
         )
-        return cls(workload, scheme, config)
+        return cls(workload, scheme, config, trace_records=trace_records)
 
     @classmethod
     def from_spec(cls, spec, config: SystemConfig | None = None) -> "ExperimentSystem":

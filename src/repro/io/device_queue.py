@@ -28,7 +28,7 @@ from repro.io.request import DeviceOp
 __all__ = ["DeviceQueue", "QueueStats"]
 
 
-@dataclass
+@dataclass(slots=True)
 class QueueStats:
     """Lifetime counters for a device queue."""
 

@@ -448,22 +448,34 @@ class ScenarioSpec:
             max_outstanding=config.max_outstanding,
         )
 
-    def build(self, config: Optional[SystemConfig] = None):
+    def build(
+        self,
+        config: Optional[SystemConfig] = None,
+        *,
+        trace_records: bool = True,
+    ):
         """Wire the full :class:`ExperimentSystem` this spec describes.
 
         Args:
             config: Run under this config instead of the spec's own
                 ``base`` + ``system`` (the benchmark suite injects its
                 ``--quick``/``--seed`` config this way).
+            trace_records: Forwarded to :class:`ExperimentSystem`; when
+                ``False`` the blktrace ring keeps counters only (no
+                per-transition record objects).
         """
         from repro.cache.write_policy import WritePolicy
         from repro.experiments.system import ExperimentSystem
 
         cfg = config if config is not None else self.to_config()
         if isinstance(self.workload, str):
-            system = ExperimentSystem.build(self.workload, self.scheme, cfg)
+            system = ExperimentSystem.build(
+                self.workload, self.scheme, cfg, trace_records=trace_records
+            )
         else:
-            system = ExperimentSystem(self._build_workload(cfg), self.scheme, cfg)
+            system = ExperimentSystem(
+                self._build_workload(cfg), self.scheme, cfg, trace_records=trace_records
+            )
         if self.fixed_policy is not None:
             system.controller.set_policy(WritePolicy(self.fixed_policy.upper()))
         return system
@@ -478,7 +490,10 @@ class ScenarioSpec:
             raise ScenarioError(
                 f"scenario {self.name!r} is a sweep; expand() it and run the grid"
             )
-        system = self.build(config)
+        # Nothing downstream of ``run`` can reach the system object, so
+        # per-transition trace records would be built and dropped unread;
+        # counters-only mode skips that work.
+        system = self.build(config, trace_records=False)
         until = None
         if self.horizon_intervals is not None:
             until = self.horizon_intervals * system.config.interval_us

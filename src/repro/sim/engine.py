@@ -21,6 +21,14 @@ so its constant factors dominate whole-run wall clock):
 - :meth:`schedule_sorted_at` batch-schedules pre-sorted arrival scripts
   (e.g. trace replay): on an empty calendar a sorted list *is* a valid
   heap, so the whole batch is appended in O(n) with no sift churn.
+- :meth:`schedule_sorted_calls` is the arrival pre-generator's variant:
+  the whole batch shares ONE cancellable :class:`Event`, so a chunk of
+  pre-drawn arrivals costs one allocation and can be revoked wholesale
+  (throttle rollback, tenant departure) with a single ``cancel()``.
+- :meth:`schedule_calls` batch-inserts a dispatch round's completions;
+  :meth:`run` drains runs of equal-timestamp entries without re-entering
+  the loop header.  Neither changes observable order: entries still pop
+  strictly by ``(time, seq)``, so fingerprints are bit-identical.
 
 Example:
     >>> sim = Simulator()
@@ -36,7 +44,8 @@ Example:
 
 from __future__ import annotations
 
-from heapq import heappop, heappush
+import gc
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Iterable
 
 from repro.sim.events import Event
@@ -191,6 +200,93 @@ class Simulator:
                 heappush(heap, entry)
         return events
 
+    def schedule_sorted_calls(
+        self, items: Iterable[tuple[float, Callable[..., Any], tuple[Any, ...]]]
+    ) -> Event:
+        """Batch-schedule pre-sorted triples behind one shared event.
+
+        The arrival pre-generator's fast path: a chunk of pre-drawn
+        arrivals is inserted in one call, and the single returned
+        :class:`Event` controls the *whole batch* — cancelling it lazily
+        deletes every entry still in the calendar (entries already
+        dispatched are unaffected).  Entries consume consecutive
+        sequence numbers in input order, exactly as the equivalent
+        ``schedule_call`` loop would.
+
+        Args:
+            items: ``(time, fn, args)`` triples in non-decreasing time
+                order, all at or after the current clock.
+
+        Returns:
+            The shared event.  Its ``time``/``fn`` fields describe the
+            first entry; only its cancellation flag governs the batch.
+            An empty batch returns an inert event.
+
+        Raises:
+            SimulationError: If an item is before the current time or
+                the batch is not sorted.  The batch is atomic: on error
+                nothing is scheduled and no sequence numbers are used.
+        """
+        seq = self._seq
+        prev = self.now
+        event: Event | None = None
+        entries: list[_HeapEntry] = []
+        for time, fn, args in items:
+            if time < prev:
+                raise SimulationError(
+                    f"batch not sorted or in the past at t={time} "
+                    f"(previous t={prev}, now t={self.now})"
+                )
+            prev = time
+            if event is None:
+                event = Event(time, seq, fn, args)
+            entries.append((time, seq, fn, args, event))
+            seq += 1
+        if event is None:  # empty batch: nothing to schedule or cancel
+            return Event(self.now, -1, _never_fires, ())
+        self._seq = seq
+        heap = self._heap
+        if not heap:  # empty calendar: sorted extend keeps the invariant
+            heap.extend(entries)
+        elif len(entries) * 4 > len(heap):
+            # Large batch vs. calendar: one O(n) heapify beats n
+            # O(log n) sifts.  Pop order depends only on the (time, seq)
+            # keys, not the heap's internal layout, so results are
+            # unchanged.
+            heap.extend(entries)
+            heapify(heap)
+        else:
+            for entry in entries:
+                heappush(heap, entry)
+        return event
+
+    def schedule_calls(
+        self, items: Iterable[tuple[float, Callable[..., Any], tuple[Any, ...]]]
+    ) -> None:
+        """Batch-schedule ``(delay, fn, args)`` triples, non-cancellably.
+
+        One dispatch round's completions enter the calendar in a single
+        call: sequence numbers are assigned in input order (identical to
+        the equivalent ``schedule_call`` loop), every entry shares the
+        no-event sentinel, and the batch is atomic — a negative delay
+        schedules nothing.
+
+        Raises:
+            SimulationError: If any delay is negative.
+        """
+        now = self.now
+        seq = self._seq
+        entries: list[_HeapEntry] = []
+        for delay, fn, args in items:
+            if delay < 0:
+                raise SimulationError(f"cannot schedule {delay} µs into the past")
+            entries.append((now + delay, seq, fn, args, _NO_EVENT))
+            seq += 1
+        self._seq = seq
+        heap = self._heap
+        for entry in entries:
+            heappush(heap, entry)
+
     @staticmethod
     def cancel(event: Event) -> None:
         """Cancel a pending event (lazy deletion; O(1))."""
@@ -210,18 +306,45 @@ class Simulator:
         self._stopped = False
         heap = self._heap
         pop = heappop
+        # The dispatch loop allocates heavily (heap entries, device ops,
+        # requests) and almost everything dies young by refcount alone;
+        # generational collection passes during the loop are pure
+        # overhead (~10% of wall time).  Pause the cyclic collector and
+        # restore it on exit — the isenabled() guard makes nested runs
+        # and gc-disabled callers behave correctly.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        # The dispatch count accumulates in a local and is flushed in the
+        # ``finally`` below (so exceptions and stop() still leave it
+        # exact).  Every reader — fingerprints, reports, tests — consumes
+        # it after run() returns; nothing in src nests run()/step().
+        processed = self._events_processed
         try:
             if until is None:
                 # Dominant dispatch cycle: pop, advance, call.  The
                 # counter stays a live attribute so callbacks (and
-                # nested step() calls) always see the true count.
+                # nested step() calls) always see the true count.  After
+                # each dispatch, entries tied at the same timestamp
+                # (batched arrivals, completion bursts, simultaneous
+                # ticks) drain in an inner run without re-entering the
+                # outer header: the clock store and until-comparison are
+                # skipped, while (time, seq) pop order — and therefore
+                # every fingerprint — is untouched.  stop() is honored
+                # between tied events exactly as between untied ones.
                 while heap and not self._stopped:
                     time, _, fn, args, event = pop(heap)
                     if event.cancelled:
                         continue
                     self.now = time
-                    self._events_processed += 1
+                    processed += 1
                     fn(*args)
+                    while heap and heap[0][0] == time and not self._stopped:  # simlint: ignore[SL003] exact ties only: the drain must not absorb nearby timestamps
+                        _, _, fn, args, event = pop(heap)
+                        if event.cancelled:
+                            continue
+                        processed += 1
+                        fn(*args)
             else:
                 while heap and not self._stopped:
                     time = heap[0][0]
@@ -231,10 +354,21 @@ class Simulator:
                     if event.cancelled:
                         continue
                     self.now = time
-                    self._events_processed += 1
+                    processed += 1
                     fn(*args)
+                    # Tied entries cannot exceed `until`: they fire at
+                    # the already-admitted timestamp.
+                    while heap and heap[0][0] == time and not self._stopped:  # simlint: ignore[SL003] exact ties only: the drain must not absorb nearby timestamps
+                        _, _, fn, args, event = pop(heap)
+                        if event.cancelled:
+                            continue
+                        processed += 1
+                        fn(*args)
         finally:
+            self._events_processed = processed
             self._running = False
+            if gc_was_enabled:
+                gc.enable()
         if until is not None and self.now < until and not self._stopped:
             self.now = until
 

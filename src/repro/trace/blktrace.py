@@ -15,7 +15,7 @@ from typing import Iterable
 
 from repro.devices.base import StorageDevice
 from repro.io.request import DeviceOp, OpTag
-from repro.trace.records import _ACTION_FOR, TraceRecord
+from repro.trace.records import TraceRecord
 
 __all__ = ["BlkTracer"]
 
@@ -27,10 +27,19 @@ class BlkTracer:
         sim: The simulator (for timestamps).
         capacity: Ring-buffer size; older records are discarded (blktrace
             similarly drops data when its buffers overflow).
+        record_events: When ``False``, skip building and retaining
+            per-transition :class:`TraceRecord` objects and keep only the
+            window counters and queue snapshots — everything the LBICA
+            characterizer consumes.  Batch runners whose callers never
+            see the system (``ScenarioSpec.run``) use this; capture for
+            replay (``dump``/``records``) needs the default ``True``.
     """
 
-    def __init__(self, sim, capacity: int = 100_000) -> None:
+    def __init__(
+        self, sim, capacity: int = 100_000, record_events: bool = True
+    ) -> None:
         self.sim = sim
+        self.record_events = record_events
         self.records: deque[TraceRecord] = deque(maxlen=capacity)
         self._devices: dict[str, StorageDevice] = {}
         self._windows: dict[str, Counter] = {}
@@ -46,41 +55,74 @@ class BlkTracer:
             raise ValueError(f"device {device.name!r} already attached")
         self._devices[device.name] = device
         self._windows[device.name] = Counter()
-        device.add_observer(self._make_observer(device.name))
+        for transition, observe in self._make_observers(device.name):
+            device.add_transition_observer(transition, observe)
 
-    def _make_observer(self, name: str):
+    def _make_observers(self, name: str):
         # Hot path: one call per queue/issue/complete transition on every
-        # device op.  Everything reachable without attribute lookups is
-        # captured in the closure; the record is built positionally.
+        # device op.  One specialized closure per transition folds the
+        # action letter into a constant, and ``tuple.__new__`` skips the
+        # NamedTuple constructor's keyword machinery (~30% per record).
         window = self._windows[name]
+        if not self.record_events:
+            # Counters-only mode: the characterizer's window mix is the
+            # sole product; no record objects are built or retained.
+            def observe_window(op: DeviceOp) -> None:
+                if not self.enabled:
+                    return
+                window[op.tag] += 1
+
+            return (("queue", observe_window),)
+
         records = self.records
         append = records.append
         maxlen = records.maxlen
+        new = tuple.__new__
         record_cls = TraceRecord
-        action_for = _ACTION_FOR
         sim = self.sim
 
-        def observe(op: DeviceOp, transition: str) -> None:
+        def observe_queue(op: DeviceOp) -> None:
             if not self.enabled:
                 return
-            if transition == "queue":
-                window[op.tag] += 1
+            window[op.tag] += 1
             if len(records) == maxlen:
                 self.dropped += 1
             append(
-                record_cls(
-                    sim.now,
-                    name,
-                    action_for[transition],
-                    op.tag,
-                    op.is_write,
-                    op.lba,
-                    op.nblocks,
-                    op.op_id,
+                new(
+                    record_cls,
+                    (sim.now, name, "Q", op.tag, op.is_write, op.lba, op.nblocks, op.op_id),
                 )
             )
 
-        return observe
+        def observe_issue(op: DeviceOp) -> None:
+            if not self.enabled:
+                return
+            if len(records) == maxlen:
+                self.dropped += 1
+            append(
+                new(
+                    record_cls,
+                    (sim.now, name, "D", op.tag, op.is_write, op.lba, op.nblocks, op.op_id),
+                )
+            )
+
+        def observe_complete(op: DeviceOp) -> None:
+            if not self.enabled:
+                return
+            if len(records) == maxlen:
+                self.dropped += 1
+            append(
+                new(
+                    record_cls,
+                    (sim.now, name, "C", op.tag, op.is_write, op.lba, op.nblocks, op.op_id),
+                )
+            )
+
+        return (
+            ("queue", observe_queue),
+            ("issue", observe_issue),
+            ("complete", observe_complete),
+        )
 
     # ------------------------------------------------------------------
     # Queries

@@ -74,7 +74,7 @@ class IntervalSample:
         return self.cache_qtime > self.disk_qtime
 
 
-@dataclass
+@dataclass(slots=True)
 class _WindowAccum:
     """Per-interval request accumulator."""
 
@@ -133,7 +133,13 @@ class IostatMonitor:
         self.interval_us = interval_us
         self.samples: list[IntervalSample] = []
         self._on_sample = on_sample
+        # One persistent accumulator, reset in place each tick; the
+        # completion hook is its bound ``record`` so the per-request hot
+        # path pays no forwarding frame.
         self._accum = _WindowAccum()
+        #: Feed a completed application request into the current window
+        #: (wire this as a cache-controller completion hook).
+        self.record_completion: Callable[[Request], None] = self._accum.record
         self._prev_busy = (0.0, 0.0)
         self._started = False
 
@@ -147,10 +153,6 @@ class IostatMonitor:
         self.ssd.queue.reset_window(now)
         self.hdd.queue.reset_window(now)
         self.sim.schedule_call(self.interval_us, self._tick)
-
-    def record_completion(self, request: Request) -> None:
-        """Feed a completed application request into the current window."""
-        self._accum.record(request)
 
     def live_queue_times(self) -> tuple[float, float]:
         """Instantaneous Eq. 1 ``(cache_Qtime, disk_Qtime)`` right now."""
@@ -196,7 +198,13 @@ class IostatMonitor:
             },
         )
         self.samples.append(sample)
-        self._accum = _WindowAccum()
+        # Reset the (persistent) accumulator in place — its bound
+        # ``record`` stays registered as the completion hook.
+        acc.completed = acc.reads = acc.writes = acc.bypassed = 0
+        acc.total_latency = 0.0
+        acc.max_latency = 0.0
+        acc.tenant_completed = {}
+        acc.tenant_latency = {}
         self.ssd.queue.reset_window(now)
         self.hdd.queue.reset_window(now)
         if self._on_sample is not None:

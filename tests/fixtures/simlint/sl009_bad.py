@@ -1,0 +1,12 @@
+"""Ad-hoc profiling creeping into a benchmark script (SL009)."""
+
+import cProfile
+from pstats import Stats
+
+
+def profile_run(fn):
+    profiler = cProfile.Profile()
+    profiler.enable()
+    fn()
+    profiler.disable()
+    return Stats(profiler)

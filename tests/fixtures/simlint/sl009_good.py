@@ -1,0 +1,9 @@
+"""Timing stays profiler-free; profiles go through the harness (SL009)."""
+
+import time
+
+
+def timed_run(fn):
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0

@@ -1,0 +1,201 @@
+"""Unit tests for the raw-word draw replication (repro.sim.fastdraw).
+
+Two layers: draw-for-draw checks of :class:`RawDraws` against a live
+``numpy.random.Generator``, and end-to-end equivalence of the chunked
+arrival pre-generator against the scalar path it replaces (same
+scenario, ``pregen_enabled`` flipped, identical stats fingerprints).
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import quick_config
+from repro.scenario import get_scenario
+from repro.scenario.fingerprint import stats_fingerprint
+from repro.sim.engine import Simulator
+from repro.sim.fastdraw import RawDraws, replication_verified
+from repro.workloads.access_patterns import UniformPattern
+from repro.workloads.base import PhaseSpec, Workload
+
+
+def _pair(seed: int, block: int = 64):
+    """A reference Generator and a RawDraws over the same seed."""
+    ref = np.random.Generator(np.random.PCG64(seed))
+    bg = np.random.PCG64(seed)
+    return ref, bg, RawDraws(bg, block=block)
+
+
+class TestRawDraws:
+    def test_random_matches_generator(self):
+        ref, _bg, raw = _pair(1234)
+        assert [raw.random() for _ in range(500)] == [
+            ref.random() for _ in range(500)
+        ]
+
+    def test_integers_matches_generator_across_spans(self):
+        # Small spans share 32-bit half-words; spans past 2**32 consume
+        # whole words; span 1 consumes no entropy at all.
+        ref, _bg, raw = _pair(99)
+        for span in (1, 2, 3, 10, 255, 4096, 1 << 20, 1 << 32, (1 << 40) + 13):
+            for _ in range(50):
+                assert raw.integers(7, 7 + span) == int(ref.integers(7, 7 + span))
+
+    def test_exponential_matches_generator(self):
+        ref, _bg, raw = _pair(7)
+        # Enough draws to hit the ziggurat's wedge/tail branches (~1%).
+        for _ in range(5_000):
+            assert raw.standard_exponential() == float(ref.standard_exponential())
+        for _ in range(100):
+            assert raw.exponential(17.5) == float(ref.exponential(17.5))
+
+    def test_interleaved_mix_matches_generator(self):
+        # The arrival loop's shape: a data-dependent interleave where one
+        # draw decides which distribution samples next.
+        ref, _bg, raw = _pair(20190325)
+        for _ in range(2_000):
+            u = raw.random()
+            assert u == ref.random()
+            if u < 0.5:
+                assert raw.integers(0, 997) == int(ref.integers(0, 997))
+            else:
+                assert raw.exponential(3.0) == float(ref.exponential(3.0))
+
+    def test_park_roundtrip_continues_scalar_stream(self):
+        ref, bg, raw = _pair(42)
+        base = bg.state
+        for _ in range(333):
+            assert raw.random() == ref.random()
+        RawDraws.park(bg, base, raw.position())
+        cont = np.random.Generator(bg)
+        assert [float(cont.random()) for _ in range(100)] == [
+            float(ref.random()) for _ in range(100)
+        ]
+
+    def test_park_restores_halfword_carry(self):
+        # An odd number of 32-bit bounded draws leaves half a word
+        # buffered; the park must hand that carry back to numpy.
+        ref, bg, raw = _pair(5150)
+        base = bg.state
+        for _ in range(7):
+            assert raw.integers(0, 1000) == int(ref.integers(0, 1000))
+        assert raw.has32  # precondition: a carry is actually pending
+        RawDraws.park(bg, base, raw.position())
+        cont = np.random.Generator(bg)
+        for _ in range(20):
+            assert int(cont.integers(0, 1000)) == int(ref.integers(0, 1000))
+
+    def test_inherits_existing_halfword_carry(self):
+        # A generator mid-stream (odd bounded draw already made) must be
+        # picked up carry and all.
+        ref = np.random.Generator(np.random.PCG64(8080))
+        bg = np.random.PCG64(8080)
+        pre = np.random.Generator(bg)
+        assert int(pre.integers(0, 100)) == int(ref.integers(0, 100))
+        raw = RawDraws(bg, block=16)
+        for _ in range(10):
+            assert raw.integers(0, 100) == int(ref.integers(0, 100))
+
+    def test_non_pcg64_rejected(self):
+        with pytest.raises(ValueError):
+            RawDraws(np.random.MT19937(3))
+
+    def test_replication_verified_on_this_numpy(self):
+        # The installed numpy must pass the cross-check — otherwise the
+        # simulator silently runs the slow path and the equivalence
+        # tests below are vacuous.
+        assert replication_verified()
+
+
+class TestPregenEquivalence:
+    """Chunked pre-generation must be invisible in every statistic."""
+
+    def _fingerprint(self, scenario: str) -> dict:
+        result = get_scenario(scenario).run(config=quick_config(7))
+        return stats_fingerprint(result)
+
+    @pytest.mark.parametrize(
+        "scenario",
+        [
+            # Single VM: the plain open-loop fast path.
+            "fig4_single_vm",
+            # Multi-tenant with arrivals/departures mid-run: chunk
+            # rollback on tenant departure plus closed-loop phases.
+            "churn_consolidated",
+        ],
+    )
+    def test_chunked_matches_scalar_path(self, scenario, monkeypatch):
+        chunked = self._fingerprint(scenario)
+        monkeypatch.setattr(Workload, "pregen_enabled", False)
+        scalar = self._fingerprint(scenario)
+        assert chunked == scalar
+
+    def _saturated_run(self, wl):
+        """Drive ``wl`` closed-loop at saturation; returns arrival times.
+
+        Completions lag arrivals badly (100 µs service vs ~10 µs gaps),
+        so the concurrency bound is pinned and every resume delivers
+        only a couple of arrivals before throttling again.
+        """
+        sim = Simulator()
+        times = []
+
+        def submit(req):
+            times.append(req.arrival)
+            sim.schedule_call(100.0, wl.on_request_complete, req)
+
+        wl.bind(sim, submit, np.random.default_rng(2019))
+        sim.run(until=wl.duration_us)
+        return times
+
+    def _closed_loop_workload(self):
+        return Workload(
+            "t",
+            [
+                PhaseSpec(
+                    label="sat",
+                    n_intervals=4,
+                    rate_iops=100_000.0,
+                    write_frac=0.5,
+                    pattern_read=UniformPattern(0, 1000),
+                )
+            ],
+            interval_us=10_000.0,
+            max_outstanding=4,
+        )
+
+    def test_saturated_closed_loop_abandons_pregen(self, monkeypatch):
+        # Each throttle-abort discards a mostly-unconsumed chunk; after
+        # pregen_max_strikes in a row the instance must go scalar so a
+        # backpressured workload never refills chunks per completion.
+        fills = []
+        orig_fill = Workload._fill_chunk
+        monkeypatch.setattr(
+            Workload,
+            "_fill_chunk",
+            lambda self, t0, f0: fills.append(t0) or orig_fill(self, t0, f0),
+        )
+        wl = self._closed_loop_workload()
+        times = self._saturated_run(wl)
+        assert wl.stats.throttled > Workload.pregen_max_strikes
+        assert not wl._pregen  # opted out
+        assert len(fills) <= Workload.pregen_max_strikes
+        assert len(times) > 100  # the run itself kept going, scalar
+
+    def test_fallback_stream_matches_scalar_path(self, monkeypatch):
+        chunked = self._saturated_run(self._closed_loop_workload())
+        monkeypatch.setattr(Workload, "pregen_enabled", False)
+        scalar = self._saturated_run(self._closed_loop_workload())
+        assert chunked == scalar
+
+    def test_pregen_gate_respects_class_flag(self, monkeypatch):
+        monkeypatch.setattr(Workload, "pregen_enabled", False)
+        system = get_scenario("fig4_single_vm").build(quick_config(7))
+        workloads = system.workloads if hasattr(system, "workloads") else None
+        # Whatever the container shape, every bound workload must have
+        # declined pre-generation.
+        bound = (
+            list(workloads.values())
+            if isinstance(workloads, dict)
+            else list(workloads or [system.workload])
+        )
+        assert bound and all(not w._pregen for w in bound)

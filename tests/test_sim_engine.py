@@ -185,6 +185,115 @@ class TestBatchScheduling:
         assert fired == ["b"]
 
 
+class TestBatchCallScheduling:
+    """The chunked-arrival fast paths: schedule_sorted_calls / schedule_calls."""
+
+    def test_sorted_calls_match_schedule_call_loop_order(self):
+        # Duplicate timestamps spanning the batch boundary: global seq
+        # order (batch entries in input order, then later singles) must
+        # be identical to the equivalent schedule_call loop.
+        batched, looped = Simulator(), Simulator()
+        got_b, got_l = [], []
+        triples = [(1.0, got_b.append, ("a",)), (2.0, got_b.append, ("b",)),
+                   (2.0, got_b.append, ("c",))]
+        batched.schedule_sorted_calls(triples)
+        batched.schedule_call(2.0, got_b.append, "d")
+        for t, _fn, args in triples:
+            looped.schedule_call(t, got_l.append, *args)
+        looped.schedule_call(2.0, got_l.append, "d")
+        batched.run()
+        looped.run()
+        assert got_b == got_l == ["a", "b", "c", "d"]
+        assert batched.events_processed == looped.events_processed == 4
+
+    def test_sorted_calls_heapify_path_interleaves_with_singles(self):
+        # A batch much larger than the calendar takes the heapify path;
+        # pop order must still honour (time, seq) against prior singles.
+        sim = Simulator()
+        fired = []
+        sim.schedule_call(2.5, fired.append, "single")
+        sim.schedule_sorted_calls(
+            (float(i), fired.append, (i,)) for i in range(50)
+        )
+        sim.run()
+        assert fired.index("single") == 3  # after t=0,1,2, before t=3
+        assert [x for x in fired if x != "single"] == list(range(50))
+
+    def test_sorted_calls_shared_event_cancels_remaining_entries(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule_sorted_calls(
+            [(1.0, fired.append, ("a",)), (2.0, fired.append, ("b",)),
+             (3.0, fired.append, ("c",))]
+        )
+        sim.schedule_at(1.5, sim.cancel, event)
+        sim.run()
+        # "a" already dispatched before the cancel; the rest of the
+        # batch dies with the shared event.
+        assert fired == ["a"]
+        assert sim.events_processed == 2  # "a" + the cancelling event
+
+    def test_sorted_calls_unsorted_batch_is_atomic(self):
+        sim = Simulator()
+        fired = []
+        with pytest.raises(SimulationError):
+            sim.schedule_sorted_calls(
+                [(2.0, fired.append, ("a",)), (1.0, fired.append, ("b",))]
+            )
+        assert sim.pending_events == 0
+        assert sim.schedule(1.0, fired.append, "ok").seq == 0  # no seq burned
+        sim.run()
+        assert fired == ["ok"]
+
+    def test_sorted_calls_past_entry_rejected(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_sorted_calls([(5.0, lambda: None, ())])
+
+    def test_sorted_calls_empty_batch_returns_inert_event(self):
+        sim = Simulator()
+        event = sim.schedule_sorted_calls([])
+        assert sim.pending_events == 0
+        sim.cancel(event)  # harmless: nothing shares it
+        sim.run()
+        assert sim.events_processed == 0
+
+    def test_sorted_calls_drain_honours_stop(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_sorted_calls(
+            [(1.0, fired.append, ("a",)), (2.0, sim.stop, ()),
+             (3.0, fired.append, ("c",))]
+        )
+        sim.run()
+        assert fired == ["a"]
+        sim.run()  # resumes where stop() left off
+        assert fired == ["a", "c"]
+
+    def test_schedule_calls_matches_schedule_call_loop(self):
+        batched, looped = Simulator(), Simulator()
+        got_b, got_l = [], []
+        delays = [(3.0, got_b.append, ("x",)), (1.0, got_b.append, ("y",)),
+                  (1.0, got_b.append, ("z",))]
+        batched.schedule_calls(delays)
+        for d, _fn, args in delays:
+            looped.schedule_call(d, got_l.append, *args)
+        batched.run()
+        looped.run()
+        assert got_b == got_l == ["y", "z", "x"]
+
+    def test_schedule_calls_negative_delay_is_atomic(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_calls(
+                [(1.0, lambda: None, ()), (-0.5, lambda: None, ())]
+            )
+        assert sim.pending_events == 0
+        assert sim.schedule(1.0, lambda: None).seq == 0
+
+
 class TestScheduleCall:
     def test_schedule_call_fires_like_schedule(self):
         sim = Simulator()

@@ -41,6 +41,7 @@ RULE_FIXTURES = [
     ("sl006", "repro.experiments.fixture", "SL006"),
     ("sl007", "repro.sim.engine", "SL007"),
     ("sl008", "repro.campaign.fixture", "SL008"),
+    ("sl009", "benchmarks.suite", "SL009"),
 ]
 
 
@@ -93,6 +94,27 @@ def test_sl007_only_fires_in_hot_functions():
     assert "lambda" in messages
     assert "nested function" in messages
     assert "schedule_call" in messages
+
+
+def test_sl009_sanctioned_only_in_the_harness_module():
+    bad = (FIXTURES / "sl009_bad.py").read_text()
+    # the harness itself may import the profilers ...
+    assert lint_source(bad, module="benchmarks.profile") == []
+    # ... and library code is in scope like any other module
+    assert [v.code for v in lint_source(bad, module="repro.sim.fixture")] == [
+        "SL009",
+        "SL009",
+    ]
+    # the sanctioned name is the one the real harness file maps to
+    assert (
+        module_name_for(REPO / "benchmarks" / "profile.py", REPO)
+        == "benchmarks.profile"
+    )
+
+
+def test_benchmarks_tree_lints_clean():
+    # CI lints benchmarks/ alongside src/repro; SL009 holds there today.
+    assert lint_paths([REPO / "benchmarks"], root=REPO) == []
 
 
 # ----------------------------------------------------------------------

@@ -205,3 +205,34 @@ class TestTraceParser:
             loads_trace("1.0 ssd Q R R 5 0 1\n")  # zero nblocks
         with pytest.raises(TraceParseError):
             loads_trace("-1.0 ssd Q R R 5 1 1\n")  # negative time
+
+
+class TestCountersOnlyMode:
+    """record_events=False: identical statistics, no retained records."""
+
+    def test_counters_only_run_matches_full_run(self):
+        from repro.config import quick_config
+        from repro.scenario import get_scenario
+        from repro.scenario.fingerprint import stats_fingerprint
+
+        spec = get_scenario("fig4_single_vm")
+        full = spec.build(quick_config(7), trace_records=True)
+        full_result = full.run()
+        lean = spec.build(quick_config(7), trace_records=False)
+        lean_result = lean.run()
+        # The fingerprint pins everything the characterizer consumes
+        # (window counters, queue snapshots) — records are pure output.
+        assert stats_fingerprint(full_result) == stats_fingerprint(lean_result)
+        assert len(full.tracer.records) > 0
+        assert len(lean.tracer.records) == 0
+
+    def test_scenario_run_uses_counters_only_mode(self):
+        # ScenarioSpec.run drops the system object, so building per-op
+        # trace records there would be pure waste; build() must default
+        # to full records for direct (replay/inspection) construction.
+        import inspect
+
+        from repro.scenario.spec import ScenarioSpec
+
+        src = inspect.getsource(ScenarioSpec.run)
+        assert "trace_records=False" in src
