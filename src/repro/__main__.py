@@ -19,6 +19,7 @@ commands:
   campaign     run / status / report / diff persistent experiment campaigns
   experiments  regenerate paper figures (same as `lbica-experiments`)
   lint         simulation-core invariant linter (simlint)
+  obs          record / summarize / export run telemetry (metrics, traces)
 
 flags (forwarded to `experiments`):
   --list-schemes / --list-workloads / --list-scenarios
@@ -50,6 +51,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.devtools.simlint.cli import main as lint_main
 
         return lint_main(rest)
+    if command == "obs":
+        from repro.obs.cli import main as obs_main
+
+        return obs_main(rest)
     print(f"unknown command {command!r}\n\n{_USAGE}", file=sys.stderr)
     return 2
 

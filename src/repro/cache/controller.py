@@ -21,7 +21,7 @@ consistent when writes or promotions are diverted.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.cache.store import CacheStore
 from repro.cache.write_policy import PolicyBehavior, WritePolicy, behavior_for
@@ -197,6 +197,32 @@ class CacheController:
         """Deregister a hook added via :meth:`add_completion_hook`."""
         if fn in self._completion_hooks:
             self._completion_hooks.remove(fn)
+
+    def telemetry_snapshot(self) -> dict[str, Any]:
+        """Point-in-time datapath state for the obs layer (JSON-ready).
+
+        A pull-style read of existing counters — called once per
+        monitoring interval, never from the per-request hot paths.
+        """
+        stats = self.stats
+        return {
+            "policy": self._behavior.policy.name,
+            "read_hit_ratio": stats.read_hit_ratio,
+            "requests": stats.requests,
+            "completed": stats.completed,
+            "reads_bypassed": stats.reads_bypassed,
+            "writes_bypassed": stats.writes_bypassed,
+            "dirty_blocks": self.store.dirty_count,
+            "occupied_blocks": self.store.occupied,
+            "tenants": {
+                tid: {
+                    "read_hit_ratio": ts.read_hit_ratio,
+                    "completed": ts.completed,
+                    "bypassed": ts.bypassed,
+                }
+                for tid, ts in sorted(stats.tenants.items())
+            },
+        }
 
     # ------------------------------------------------------------------
     # Application entry point

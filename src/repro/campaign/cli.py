@@ -70,6 +70,16 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--quiet", action="store_true", help="suppress progress messages"
     )
+    run_p.add_argument(
+        "--heartbeat",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help=(
+            "print a live progress line (done/total, wall time, ETA) to "
+            "stderr every S seconds while simulating (0 disables)"
+        ),
+    )
 
     status_p = sub.add_parser(
         "status", help="which scenarios are stored / missing / corrupt"
@@ -137,12 +147,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 return 2
             campaign = _load(args.campaign)
             store = _resolve_store(campaign, args.store)
+            if args.heartbeat < 0:
+                print("--heartbeat must be non-negative", file=sys.stderr)
+                return 2
             run = run_campaign(
                 campaign,
                 store,
                 jobs=args.jobs,
                 shard_size=args.shard_size,
                 verbose=not args.quiet,
+                heartbeat_s=args.heartbeat,
             )
             if args.quiet:
                 print(run.summary())

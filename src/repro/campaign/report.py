@@ -43,7 +43,12 @@ __all__ = [
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class ScenarioStatus:
-    """One scenario's standing in a store."""
+    """One scenario's standing in a store.
+
+    ``wall_s`` and ``events_per_sec`` come from the stored artifact's
+    ``perf`` section when present (timed write-through runs record
+    them); ``None`` for missing/corrupt scenarios and untimed artifacts.
+    """
 
     name: str
     workload: str
@@ -51,6 +56,8 @@ class ScenarioStatus:
     digest: str
     state: str  # "stored" | "missing" | "corrupt" | "schema-mismatch"
     detail: str = ""
+    wall_s: Optional[float] = None
+    events_per_sec: Optional[float] = None
 
 
 def _statuses_with_artifacts(campaign: CampaignSpec, store: RunStore):
@@ -75,6 +82,7 @@ def _statuses_with_artifacts(campaign: CampaignSpec, store: RunStore):
                 state, detail = "schema-mismatch", str(exc)
             except StoreError as exc:
                 state, detail = "corrupt", str(exc)
+        perf = artifact.perf if artifact is not None else {}
         status = ScenarioStatus(
             name=spec.name,
             workload=workload,
@@ -82,6 +90,8 @@ def _statuses_with_artifacts(campaign: CampaignSpec, store: RunStore):
             digest=digest,
             state=state,
             detail=detail,
+            wall_s=perf.get("wall_clock_s"),
+            events_per_sec=perf.get("events_per_sec"),
         )
         out.append((status, artifact))
     return out
@@ -97,9 +107,19 @@ def campaign_status(
 def status_table(statuses: list[ScenarioStatus]) -> str:
     """Fixed-width status listing (the ``campaign status`` output)."""
     return format_table(
-        ["scenario", "workload", "scheme", "state", "key"],
+        ["scenario", "workload", "scheme", "state", "wall s", "events/s", "key"],
         [
-            (s.name, s.workload, s.scheme, s.state, s.digest[:12])
+            (
+                s.name,
+                s.workload,
+                s.scheme,
+                s.state,
+                f"{s.wall_s:.2f}" if s.wall_s is not None else "-",
+                f"{s.events_per_sec:,.0f}"
+                if s.events_per_sec is not None
+                else "-",
+                s.digest[:12],
+            )
             for s in statuses
         ],
         title="campaign status",

@@ -17,6 +17,9 @@ campaign.
 
 from __future__ import annotations
 
+import sys
+import threading
+import time
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -68,12 +71,42 @@ def _shards(items: list[ScenarioSpec], size: int) -> list[list[ScenarioSpec]]:
     return [items[i : i + size] for i in range(0, len(items), size)]
 
 
+def _heartbeat_loop(
+    stop: threading.Event,
+    interval_s: float,
+    progress: dict,
+    total: int,
+    hits: int,
+) -> None:
+    """Print a campaign progress line every ``interval_s`` wall seconds.
+
+    Runs on a daemon thread; reads only the shared ``progress`` counter
+    (updated between shards) and wall time, so it never touches — or
+    perturbs — a simulation.  Output goes to stderr: stdout stays
+    parseable for CI greps.
+    """
+    t0 = time.perf_counter()
+    while not stop.wait(interval_s):
+        done = progress["done"]
+        elapsed = time.perf_counter() - t0
+        line = (
+            f"[campaign] heartbeat: {hits + done}/{total} scenarios "
+            f"({hits} store hits, {done} simulated), wall {elapsed:.0f}s"
+        )
+        remaining = total - hits - done
+        if done and remaining > 0:
+            eta = elapsed / done * remaining
+            line += f", eta {eta:.0f}s"
+        print(line, file=sys.stderr, flush=True)
+
+
 def run_campaign(
     campaign: CampaignSpec,
     store: RunStore,
     jobs: Optional[int] = None,
     shard_size: int = 8,
     verbose: bool = True,
+    heartbeat_s: float = 0.0,
 ) -> CampaignRun:
     """Run (or resume) a campaign against a store.
 
@@ -88,6 +121,9 @@ def run_campaign(
             ``RunResult`` footprint — the store, not the memo cache, is
             the cross-shard memory.
         verbose: Print progress (store hits, per-shard completion).
+        heartbeat_s: When positive, print a live progress line
+            (scenarios done, wall time, ETA) to stderr every this many
+            wall-clock seconds while shards simulate.
 
     Returns:
         A :class:`CampaignRun` with every scenario's artifact.
@@ -125,22 +161,39 @@ def run_campaign(
             flush=True,
         )
 
-    done = 0
-    for shard in _shards(missing, shard_size):
-        # a fresh runner per shard: the store carries results across
-        # shards (and invocations), the memo cache only within one
-        runner = ExperimentRunner(store=store, verbose=verbose)
-        runner.run_specs(shard, max_workers=workers)
-        done += len(shard)
-        for spec in shard:
-            run.artifacts[spec.name] = store.get(RunKey.for_spec(spec))
-            run.simulated.append(spec.name)
-        if verbose and missing:
-            print(  # simlint: ignore[SL008] opt-in progress output
-                f"[campaign] progress: {done}/{len(missing)} simulated "
-                f"({len(run.hits) + done}/{len(specs)} total)",
-                flush=True,
-            )
+    progress = {"done": 0}
+    stop: Optional[threading.Event] = None
+    beat: Optional[threading.Thread] = None
+    if heartbeat_s > 0 and missing:
+        stop = threading.Event()
+        beat = threading.Thread(
+            target=_heartbeat_loop,
+            args=(stop, heartbeat_s, progress, len(specs), len(run.hits)),
+            daemon=True,
+        )
+        beat.start()
+    try:
+        for shard in _shards(missing, shard_size):
+            # a fresh runner per shard: the store carries results across
+            # shards (and invocations), the memo cache only within one
+            runner = ExperimentRunner(store=store, verbose=verbose)
+            runner.run_specs(shard, max_workers=workers)
+            progress["done"] += len(shard)
+            for spec in shard:
+                run.artifacts[spec.name] = store.get(RunKey.for_spec(spec))
+                run.simulated.append(spec.name)
+            if verbose and missing:
+                print(  # simlint: ignore[SL008] opt-in progress output
+                    f"[campaign] progress: {progress['done']}/{len(missing)} "
+                    f"simulated ({len(run.hits) + progress['done']}"
+                    f"/{len(specs)} total)",
+                    flush=True,
+                )
+    finally:
+        if stop is not None:
+            stop.set()
+        if beat is not None:
+            beat.join(timeout=1.0)
     if verbose:
         print(f"[campaign] {run.summary()}", flush=True)  # simlint: ignore[SL008] opt-in progress
     return run

@@ -21,6 +21,7 @@ from repro.core.lbica import LbicaConfig
 from repro.devices.hdd import HddConfig
 from repro.devices.presets import HDD_PRESET, SSD_PRESET
 from repro.devices.ssd import SsdConfig
+from repro.obs.config import ObsConfig
 from repro.schemes.dynshare import DynShareConfig
 from repro.schemes.partition import PartitionConfig
 from repro.schemes.slosteal import SloStealConfig
@@ -60,6 +61,9 @@ class SystemConfig:
         max_outstanding: Application concurrency bound (backpressure).
         drain_intervals: Extra intervals simulated after the workload
             script ends so in-flight requests complete.
+        obs: Run-telemetry switches (metrics series, lifecycle tracing,
+            heartbeat).  Off by default — a default config wires zero
+            telemetry and runs bit-identical to an obs-free build.
     """
 
     seed: int = 7
@@ -82,6 +86,7 @@ class SystemConfig:
     rate_scale: float = 1.0
     max_outstanding: int = 256
     drain_intervals: int = 0
+    obs: ObsConfig = field(default_factory=ObsConfig)
 
     def __post_init__(self) -> None:
         # Keep the control loops aligned with the monitoring interval by
@@ -126,6 +131,7 @@ class SystemConfig:
         self.partition.validate()
         self.dynshare.validate()
         self.slosteal.validate()
+        self.obs.validate()
 
     def scaled(self, rate_scale: float) -> "SystemConfig":
         """A copy with arrival rates scaled (devices unchanged)."""

@@ -349,5 +349,23 @@ class StorageDevice:
             raise ValueError(f"unknown transition {transition!r}") from None
         observers.append(fn)
 
+    def telemetry_snapshot(self) -> dict:
+        """Point-in-time device state for the obs layer (JSON-ready).
+
+        A pull-style read of existing counters — called once per
+        monitoring interval, never from the per-op hot paths.
+        """
+        stats = self.stats
+        return {
+            "qsize": self.qsize,
+            "reads": stats.reads,
+            "writes": stats.writes,
+            "blocks_read": stats.blocks_read,
+            "blocks_written": stats.blocks_written,
+            "busy_time_us": stats.busy_time,
+            "read_latency_us": self._lat_read,
+            "write_latency_us": self._lat_write,
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"StorageDevice({self.name!r}, qsize={self.qsize})"

@@ -27,6 +27,7 @@ __all__ = [
     "HotPathRule",
     "PrintRule",
     "ProfilerImportRule",
+    "TelemetryGuardRule",
 ]
 
 #: The deterministic simulation core: everything here must be a pure
@@ -532,3 +533,108 @@ class ProfilerImportRule(Rule):
                         f"{name!r} imported outside the profiling harness; "
                         "profile through benchmarks/profile.py",
                     )
+
+
+@register_rule
+class TelemetryGuardRule(Rule):
+    code = "SL010"
+    title = "telemetry emits in hot-path modules need an enabled-guard"
+    explanation = (
+        "The obs layer's contract is zero overhead when disabled: its\n"
+        "hooks ride existing observer lists and interval ticks, never the\n"
+        "per-event dispatch chain.  If a telemetry emit (a method call on\n"
+        "a telemetry/hub/spans/metrics receiver) does land in one of\n"
+        "SL007's hot-path modules, it must sit inside an if-guard that\n"
+        "tests the telemetry object or an enabled flag — an unguarded\n"
+        "emit charges every run, telemetry on or off, and silently taxes\n"
+        "the 130k+ events/s budget the BENCH suite gates."
+    )
+
+    #: Receiver identifiers that mark a call as a telemetry emit.
+    _RECEIVERS = frozenset({"telemetry", "hub", "spans", "metrics_hub", "obs"})
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        hot_modules = {mod for mod, _ in HotPathRule._HOT}
+        if ctx.module not in hot_modules:
+            return
+        yield from self._scan(ctx, ctx.tree.body, guarded=False)
+
+    def _scan(
+        self, ctx: FileContext, body: list[ast.stmt], guarded: bool
+    ) -> Iterator[Violation]:
+        for stmt in body:
+            if isinstance(stmt, ast.If):
+                inner = guarded or self._is_guard(stmt.test)
+                yield from self._check_stmt_exprs(ctx, stmt.test, guarded)
+                yield from self._scan(ctx, stmt.body, inner)
+                yield from self._scan(ctx, stmt.orelse, guarded)
+                continue
+            if isinstance(stmt, ast.Try):
+                for block in (stmt.body, stmt.orelse, stmt.finalbody):
+                    yield from self._scan(ctx, block, guarded)
+                for handler in stmt.handlers:
+                    yield from self._scan(ctx, handler.body, guarded)
+                continue
+            if isinstance(
+                stmt,
+                (
+                    ast.For,
+                    ast.AsyncFor,
+                    ast.While,
+                    ast.With,
+                    ast.AsyncWith,
+                    ast.FunctionDef,
+                    ast.AsyncFunctionDef,
+                    ast.ClassDef,
+                ),
+            ):
+                yield from self._scan(ctx, stmt.body, guarded)
+                orelse = getattr(stmt, "orelse", None)
+                if orelse:
+                    yield from self._scan(ctx, orelse, guarded)
+                continue
+            if not guarded:
+                yield from self._check_stmt_exprs(ctx, stmt, guarded=False)
+
+    def _check_stmt_exprs(
+        self, ctx: FileContext, node: ast.AST, guarded: bool
+    ) -> Iterator[Violation]:
+        if guarded:
+            return
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and self._is_telemetry_receiver(sub.func.value)
+            ):
+                yield self.violation(
+                    ctx,
+                    sub,
+                    f"unguarded telemetry emit "
+                    f"'.{sub.func.attr}(...)' in a hot-path module; wrap it "
+                    "in an enabled-guard (e.g. `if telemetry is not None:`)",
+                )
+
+    def _is_telemetry_receiver(self, node: ast.expr) -> bool:
+        """Whether any identifier in the receiver chain is telemetry-ish."""
+        current: Optional[ast.expr] = node
+        while current is not None:
+            if isinstance(current, ast.Name):
+                return current.id in self._RECEIVERS
+            if isinstance(current, ast.Attribute):
+                if current.attr in self._RECEIVERS:
+                    return True
+                current = current.value
+                continue
+            return False
+        return False
+
+    def _is_guard(self, test: ast.expr) -> bool:
+        """Whether an ``if`` test mentions a telemetry object or enabled flag."""
+        for node in ast.walk(test):
+            name = _terminal_name(node) if isinstance(node, ast.expr) else None
+            if name is None:
+                continue
+            if name in self._RECEIVERS or "enabled" in name:
+                return True
+        return False

@@ -64,22 +64,32 @@ def _simulate_spec_timed(spec: ScenarioSpec) -> tuple[RunResult, float]:
 
 
 def run_perf_counters(result: RunResult, wall_s: Optional[float]) -> dict:
-    """Perf counters for one timed run (empty when untimed).
+    """Perf counters for one run (timing block only when timed).
 
     The single definition of the perf block: stored artifacts use it
     as-is, and ``benchmarks/suite.py`` builds its per-scenario ``perf``
     section from it (adding only the RSS high-water mark), so the two
-    can never drift apart.
+    can never drift apart.  The result's own cheap counters (blktrace
+    record/drop totals) are always included — trace truncation is
+    visible even on untimed runs.
     """
+    counters = dict(result.perf_counters)
     if wall_s is None:
-        return {}
-    return {
-        "wall_clock_s": round(wall_s, 4),
-        "events_processed": result.events_processed,
-        "events_per_sec": round(result.events_processed / wall_s) if wall_s else 0,
-        "completed_requests": result.completed,
-        "simulated_ios_per_sec": round(result.completed / wall_s) if wall_s else 0,
-    }
+        return counters
+    counters.update(
+        {
+            "wall_clock_s": round(wall_s, 4),
+            "events_processed": result.events_processed,
+            "events_per_sec": round(result.events_processed / wall_s)
+            if wall_s
+            else 0,
+            "completed_requests": result.completed,
+            "simulated_ios_per_sec": round(result.completed / wall_s)
+            if wall_s
+            else 0,
+        }
+    )
+    return counters
 
 
 class ExperimentRunner:

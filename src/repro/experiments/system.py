@@ -270,6 +270,13 @@ class RunResult:
     slo_stats: dict = field(default_factory=dict)
     #: Churn executor counters (empty for runs without tenant churn).
     service_stats: dict = field(default_factory=dict)
+    #: Always-on cheap counters (blktrace record/drop totals); stored
+    #: artifacts merge these into their ``perf`` section.
+    perf_counters: dict = field(default_factory=dict)
+    #: Telemetry payload from the obs layer (empty unless the run's
+    #: config had ``obs.enabled``): metrics series + summaries, trace
+    #: span counts, wall-clock totals.
+    telemetry: dict = field(default_factory=dict)
 
     @property
     def tenant_ids(self) -> list[int]:
@@ -430,6 +437,16 @@ class ExperimentSystem:
         self.controller.add_completion_hook(self.monitor.record_completion)
         self.controller.add_completion_hook(self.workload.on_request_complete)
 
+        # Observability (opt-in): the telemetry orchestrator registers
+        # sample hooks and completion/transition observers on the stack
+        # built above.  A disabled config builds nothing — this branch is
+        # the entire overhead of the obs layer when it is off.
+        self.telemetry = None
+        if config.obs.enabled:
+            from repro.obs.runtime import RunTelemetry
+
+            self.telemetry = RunTelemetry(self, config.obs)
+
     # ------------------------------------------------------------------
     @classmethod
     def build(
@@ -525,7 +542,11 @@ class ExperimentSystem:
             horizon = self.workload.duration_us + (
                 self.config.drain_intervals * self.config.interval_us
             )
+        if self.telemetry is not None:
+            self.telemetry.start(horizon)
         self.sim.run(until=horizon)
+        if self.telemetry is not None:
+            self.telemetry.finish()
 
         # Dispatch on the registered scheme name rather than importing the
         # concrete controller classes (SL004): the registry owns those.
@@ -605,6 +626,16 @@ class ExperimentSystem:
                 self.slo_monitor.summary() if self.slo_monitor is not None else {}
             ),
             service_stats=self.churn.summary() if self.churn is not None else {},
+            perf_counters={
+                "trace_records": len(self.tracer.records),
+                "trace_dropped": self.tracer.dropped,
+                "trace_record_events": self.tracer.record_events,
+            },
+            telemetry=(
+                self.telemetry.result_section()
+                if self.telemetry is not None
+                else {}
+            ),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

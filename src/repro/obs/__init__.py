@@ -1,0 +1,23 @@
+"""Runtime observability: metrics hub, lifecycle spans, live telemetry.
+
+Everything here is **opt-in** (``SystemConfig.obs.enabled``, or a
+scenario spec's ``obs:`` block) and **zero-overhead when disabled**: a
+default config wires no observers, installs no hooks, and runs the exact
+event sequence of a build without this package.  See
+``docs/ARCHITECTURE.md`` ("Observability layer") for the contract.
+"""
+
+from repro.obs.config import ObsConfig
+from repro.obs.hub import Histogram, MetricsHub, strip_wall
+from repro.obs.runtime import RunTelemetry
+from repro.obs.spans import TRACE_REQUIRED_FIELDS, SpanTracer
+
+__all__ = [
+    "ObsConfig",
+    "Histogram",
+    "MetricsHub",
+    "strip_wall",
+    "RunTelemetry",
+    "SpanTracer",
+    "TRACE_REQUIRED_FIELDS",
+]

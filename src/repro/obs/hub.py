@@ -1,0 +1,143 @@
+"""The metrics hub: counters, gauges, histograms, and the snapshot series.
+
+:class:`MetricsHub` is deliberately dumb storage — it knows nothing
+about simulators, devices, or tenants.  The
+:class:`~repro.obs.runtime.RunTelemetry` orchestrator pulls system state
+once per monitoring interval and pushes it here; the hub's job is to
+hold it in JSON-stable shapes and serialize the per-interval series as
+JSONL.
+
+Determinism contract: everything the hub stores is a pure function of
+the simulation *except* values filed under a ``"wall"`` key (wall-clock
+seconds, events per wall-second).  Consumers that diff two runs of the
+same scenario strip ``"wall"`` sub-dicts first — that is exactly what
+:func:`strip_wall` is for.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["Histogram", "MetricsHub", "strip_wall"]
+
+
+@dataclass
+class Histogram:
+    """A power-of-two bucketed histogram of non-negative samples.
+
+    Buckets are keyed by ``ceil(log2(value))`` (values ``<= 1`` land in
+    bucket 0), which keeps the bucket map small and the serialized form
+    deterministic without pre-declared bounds.
+    """
+
+    count: int = 0
+    total: float = 0.0
+    min: float = 0.0
+    max: float = 0.0
+    buckets: dict[int, int] = field(default_factory=dict)
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        if self.count == 0 or value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.count += 1
+        self.total += value
+        bucket = 0
+        if value > 1.0:
+            bucket = max(0, (int(value) - 1).bit_length())
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observed samples."""
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-stable form (bucket keys stringified and sorted)."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "buckets": {str(k): self.buckets[k] for k in sorted(self.buckets)},
+        }
+
+
+class MetricsHub:
+    """Counters, gauges, histograms, and the per-interval snapshot series."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+        #: One row per monitoring interval (plain dicts, JSONL-ready).
+        self.series: list[dict[str, Any]] = []
+
+    # ------------------------------------------------------------------
+    # Instruments
+    # ------------------------------------------------------------------
+    def inc(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` to a monotonically increasing counter."""
+        self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set a point-in-time gauge."""
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into a named histogram."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.observe(value)
+
+    # ------------------------------------------------------------------
+    # Snapshot series
+    # ------------------------------------------------------------------
+    def add_snapshot(self, row: Mapping[str, Any]) -> None:
+        """Append one per-interval snapshot row to the series."""
+        self.series.append(dict(row))
+
+    def jsonl(self) -> str:
+        """The snapshot series as JSONL (one sorted-key object per line)."""
+        return "".join(
+            json.dumps(row, sort_keys=True) + "\n" for row in self.series
+        )
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    def summary(self) -> dict[str, Any]:
+        """Everything but the series, in JSON-stable form."""
+        return {
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+            "histograms": {
+                k: self.histograms[k].as_dict() for k in sorted(self.histograms)
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MetricsHub(counters={len(self.counters)}, "
+            f"gauges={len(self.gauges)}, intervals={len(self.series)})"
+        )
+
+
+def strip_wall(row: Any) -> Any:
+    """A deep copy of ``row`` with every ``"wall"`` key removed.
+
+    The determinism comparison for metrics series: two runs of the same
+    scenario must produce identical rows after stripping wall-clock
+    fields (which legitimately differ between runs).
+    """
+    if isinstance(row, dict):
+        return {k: strip_wall(v) for k, v in row.items() if k != "wall"}
+    if isinstance(row, list):
+        return [strip_wall(item) for item in row]
+    return row

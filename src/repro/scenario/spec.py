@@ -75,6 +75,7 @@ _SPEC_KEYS = {
     "fixed_policy",
     "horizon_intervals",
     "sweep",
+    "obs",
 }
 
 
@@ -159,6 +160,10 @@ class ScenarioSpec:
         sweep: ``{field_path: [values]}`` grid axes.  Paths address
             top-level spec fields or dotted ``system.*`` leaves;
             :meth:`expand` takes the cartesian product.
+        obs: Overrides of the config's :class:`~repro.obs.config.
+            ObsConfig` fields (``{"enabled": true, "trace": true}``) —
+            the opt-in telemetry block.  Empty (the default) leaves
+            telemetry off and the spec's dict/JSON form unchanged.
     """
 
     name: str
@@ -172,6 +177,7 @@ class ScenarioSpec:
     #: Stored under the ``"sweep"`` key in dict/JSON form; named
     #: differently here only so the :meth:`sweep` method can exist.
     sweep_axes: dict = field(default_factory=dict)
+    obs: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Validation
@@ -213,6 +219,8 @@ class ScenarioSpec:
             )
         if not isinstance(self.sweep_axes, Mapping):
             raise ScenarioError(f"scenario {self.name!r}: sweep must be a mapping")
+        if not isinstance(self.obs, Mapping):
+            raise ScenarioError(f"scenario {self.name!r}: obs must be a mapping")
         for path, values in self.sweep_axes.items():
             self._check_sweep_path(path)
             if not isinstance(values, Sequence) or isinstance(values, (str, bytes)):
@@ -262,7 +270,7 @@ class ScenarioSpec:
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
         """A plain-data dict; ``scenario_from_dict`` round-trips it."""
-        return {
+        data = {
             "name": self.name,
             "description": self.description,
             "scheme": self.scheme,
@@ -273,6 +281,11 @@ class ScenarioSpec:
             "horizon_intervals": self.horizon_intervals,
             "sweep": copy.deepcopy(self.sweep_axes),
         }
+        # Emitted only when set: telemetry-free specs keep their exact
+        # pre-obs canonical form (and therefore their memo/store keys).
+        if self.obs:
+            data["obs"] = copy.deepcopy(self.obs)
+        return data
 
     def to_json(self, indent: int = 2) -> str:
         """The spec as formatted JSON."""
@@ -305,6 +318,7 @@ class ScenarioSpec:
             fixed_policy=spec.get("fixed_policy"),
             horizon_intervals=spec.get("horizon_intervals"),
             sweep_axes=copy.deepcopy(dict(spec.get("sweep") or {})),
+            obs=copy.deepcopy(dict(spec.get("obs") or {})),
         )
         built.validate()
         return built
@@ -327,7 +341,12 @@ class ScenarioSpec:
                 f"scenario {self.name!r}: unknown base {self.base!r}; "
                 f"choose from {sorted(_BASES)}"
             )
-        return _apply_overrides(base, self.system, "system")
+        cfg = _apply_overrides(base, self.system, "system")
+        if self.obs:
+            cfg = dataclasses.replace(
+                cfg, obs=_apply_overrides(cfg.obs, self.obs, "obs")
+            )
+        return cfg
 
     @classmethod
     def from_config(

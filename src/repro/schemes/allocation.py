@@ -254,6 +254,19 @@ class QuotaAllocator:
         """Own-share recycling evictions over the run, all tenants."""
         return sum(self.recycled.values())
 
+    def telemetry_snapshot(self) -> dict[str, Any]:
+        """Point-in-time quota state for the obs layer (JSON-ready).
+
+        A pull-style read of existing accounting — called once per
+        monitoring interval, never from the admission hot path.
+        """
+        return {
+            "quotas": {tid: self.quotas[tid] for tid in sorted(self.quotas)},
+            "occupancy": self.occupancy(),
+            "denied": self.total_denied,
+            "recycled": self.total_recycled,
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"QuotaAllocator(quotas={self.quotas}, "

@@ -269,6 +269,32 @@ class SloMonitor:
             "total_violations": sum(self.violations.values()),
         }
 
+    def telemetry_snapshot(self) -> dict[str, Any]:
+        """Point-in-time compliance state for the obs layer (JSON-ready).
+
+        Reports each tracked tenant's most recent sample verdict plus
+        the running violation totals — a pull-style read of existing
+        state, called once per monitoring interval.
+        """
+        latest: dict[int, SloSample] = {}
+        for sample in reversed(self.samples):
+            if sample.tenant_id not in latest:
+                latest[sample.tenant_id] = sample
+            if len(latest) == len(self.targets):
+                break
+        return {
+            "tenants": {
+                str(tid): {
+                    "compliant": latest[tid].compliant,
+                    "p99_latency_us": latest[tid].p99_latency_us,
+                    "hit_ratio": latest[tid].hit_ratio,
+                    "violations": self.violations[tid],
+                }
+                for tid in sorted(latest)
+            },
+            "total_violations": sum(self.violations.values()),
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"SloMonitor(tenants={sorted(self.targets)}, "

@@ -90,6 +90,11 @@ class Simulator:
         self._events_processed: int = 0
         self._running: bool = False
         self._stopped: bool = False
+        #: When ``True``, :meth:`run` updates ``events_processed`` after
+        #: every dispatch instead of batching the count in a local, so
+        #: mid-run callbacks (the obs layer's interval snapshots) read
+        #: exact live values.  Pop order is identical either way.
+        self.live_counters: bool = False
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -302,6 +307,9 @@ class Simulator:
             until: If given, stop once the next event would fire after this
                 time, and fast-forward the clock to exactly ``until``.
         """
+        if self.live_counters:
+            self._run_live(until)
+            return
         self._running = True
         self._stopped = False
         heap = self._heap
@@ -366,6 +374,42 @@ class Simulator:
                         fn(*args)
         finally:
             self._events_processed = processed
+            self._running = False
+            if gc_was_enabled:
+                gc.enable()
+        if until is not None and self.now < until and not self._stopped:
+            self.now = until
+
+    def _run_live(self, until: float | None) -> None:
+        """The :meth:`run` loop with per-event counter updates.
+
+        Taken when :attr:`live_counters` is set (the obs layer needs
+        mid-run ``events_processed`` reads from interval callbacks).
+        Pop order, cancellation handling, the GC pause, and the
+        ``until`` fast-forward match :meth:`run` exactly — the same
+        event sequence executes, so fingerprints are identical; only
+        the counter bookkeeping differs (a live attribute store per
+        dispatch instead of one flush on return).
+        """
+        self._running = True
+        self._stopped = False
+        heap = self._heap
+        pop = heappop
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            while heap and not self._stopped:
+                time = heap[0][0]
+                if until is not None and time > until:
+                    break
+                _, _, fn, args, event = pop(heap)
+                if event.cancelled:
+                    continue
+                self.now = time
+                self._events_processed += 1
+                fn(*args)
+        finally:
             self._running = False
             if gc_was_enabled:
                 gc.enable()

@@ -42,6 +42,7 @@ _ARTIFACT_KEYS = {
     "tenant_stats",
     "service",
     "perf",
+    "telemetry",
     "provenance",
 }
 
@@ -75,6 +76,11 @@ class RunArtifact:
             stored artifacts rehydrate with an empty dict).
         perf: Free-form perf counters (wall clock, events/sec, RSS …);
             never compared by ``diff``.
+        telemetry: The obs layer's run payload (``RunResult.telemetry``)
+            for telemetry-enabled runs — metrics series + summaries and
+            span counts.  Empty for ordinary runs (the key is additive;
+            old stored artifacts rehydrate with an empty dict); never
+            compared by ``diff``.
         provenance: Who/when/what produced this artifact (repro version,
             git commit, ISO timestamp); never compared by ``diff``.
     """
@@ -86,6 +92,7 @@ class RunArtifact:
     tenant_stats: dict[str, Any] = field(default_factory=dict)
     service: dict[str, Any] = field(default_factory=dict)
     perf: dict[str, Any] = field(default_factory=dict)
+    telemetry: dict[str, Any] = field(default_factory=dict)
     provenance: dict[str, Any] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -135,6 +142,7 @@ class RunArtifact:
             tenant_stats=copy.deepcopy(fingerprint["tenant_stats"]),
             service=service,
             perf=dict(perf or {}),
+            telemetry=copy.deepcopy(result.telemetry) if result.telemetry else {},
             provenance=dict(provenance or {}),
         )
 
@@ -151,6 +159,7 @@ class RunArtifact:
             "tenant_stats": copy.deepcopy(self.tenant_stats),
             "service": copy.deepcopy(self.service),
             "perf": copy.deepcopy(self.perf),
+            "telemetry": copy.deepcopy(self.telemetry),
             "provenance": copy.deepcopy(self.provenance),
         }
 
@@ -189,6 +198,7 @@ class RunArtifact:
             tenant_stats=copy.deepcopy(dict(payload.get("tenant_stats") or {})),
             service=copy.deepcopy(dict(payload.get("service") or {})),
             perf=copy.deepcopy(dict(payload.get("perf") or {})),
+            telemetry=copy.deepcopy(dict(payload.get("telemetry") or {})),
             provenance=copy.deepcopy(dict(payload.get("provenance") or {})),
         )
 

@@ -142,6 +142,10 @@ class IostatMonitor:
         self.record_completion: Callable[[Request], None] = self._accum.record
         self._prev_busy = (0.0, 0.0)
         self._started = False
+        # Extra per-sample observers (the obs layer's snapshot rides
+        # here) — empty by default, so a telemetry-free run pays one
+        # falsy check per interval, never per event.
+        self._sample_hooks: list[Callable[[IntervalSample], None]] = []
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -154,7 +158,14 @@ class IostatMonitor:
         self.hdd.queue.reset_window(now)
         self.sim.schedule_call(self.interval_us, self._tick)
 
-    def live_queue_times(self) -> tuple[float, float]:
+    def add_sample_hook(self, fn: Callable[[IntervalSample], None]) -> None:
+        """Call ``fn(sample)`` after each interval sample is recorded.
+
+        Hooks run after the primary ``on_sample`` callback (schemes keep
+        priority) and ride the existing tick event — registering one
+        schedules nothing new, so the event sequence is unchanged.
+        """
+        self._sample_hooks.append(fn)
         """Instantaneous Eq. 1 ``(cache_Qtime, disk_Qtime)`` right now."""
         cache_qt = eq1_queue_time(self.ssd.qsize, self.ssd.avg_latency)
         disk_qt = eq1_queue_time(self.hdd.qsize, self.hdd.avg_latency)
@@ -209,6 +220,9 @@ class IostatMonitor:
         self.hdd.queue.reset_window(now)
         if self._on_sample is not None:
             self._on_sample(sample)
+        if self._sample_hooks:
+            for hook in self._sample_hooks:
+                hook(sample)
         self.sim.schedule_call(self.interval_us, self._tick)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

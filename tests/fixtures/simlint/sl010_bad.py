@@ -1,0 +1,11 @@
+"""SL010 bad: an unguarded telemetry emit inside a hot-path module.
+
+Linted as module ``repro.sim.engine`` (on SL007's hot-path allowlist);
+the hub emit in the dispatch loop runs telemetry-on or off.
+"""
+
+
+class Simulator:
+    def run(self):
+        while self._heap:
+            self.telemetry.hub.inc("events")

@@ -1,0 +1,15 @@
+"""SL010 good: telemetry emits behind enabled-guards in a hot-path module.
+
+Linted as module ``repro.sim.engine``; both guard spellings — testing
+the telemetry object and testing an enabled flag — satisfy the rule.
+"""
+
+
+class Simulator:
+    def run(self):
+        telemetry = self.telemetry
+        while self._heap:
+            if telemetry is not None:
+                telemetry.hub.inc("events")
+            if self._obs_enabled:
+                self.hub.observe("latency", 1.0)

@@ -42,6 +42,7 @@ RULE_FIXTURES = [
     ("sl007", "repro.sim.engine", "SL007"),
     ("sl008", "repro.campaign.fixture", "SL008"),
     ("sl009", "benchmarks.suite", "SL009"),
+    ("sl010", "repro.sim.engine", "SL010"),
 ]
 
 
