@@ -604,6 +604,14 @@ class ExperimentSystem:
             workload_stats={
                 "generated": getattr(wl_stats, "generated", 0),
                 "throttled": getattr(wl_stats, "throttled", 0),
+                # Only replay runs drop records; emitting the key
+                # conditionally keeps non-replay fingerprints (and every
+                # committed golden) byte-identical.
+                **(
+                    {"skipped": skipped}
+                    if (skipped := getattr(wl_stats, "skipped", 0))
+                    else {}
+                ),
             },
             policy_log=list(stats.policy_log),
             lbica_decisions=lbica_decisions,

@@ -1,7 +1,7 @@
-"""Monitoring substrate: the paper's iostat and blktrace stand-ins.
+"""Monitoring + replay substrate: capture tools and streaming trace IO.
 
-LBICA observes the system exclusively through two kernel tools, and this
-package rebuilds both for the simulated stack:
+The package has two halves.  The **capture half** rebuilds the kernel
+tools LBICA observes the system through:
 
 - :mod:`repro.trace.iostat` — :class:`~repro.trace.iostat.IostatMonitor`
   samples per-interval queue depths and service-time estimates and
@@ -11,14 +11,36 @@ package rebuilds both for the simulated stack:
   logs per-op queue/issue/complete transitions (blktrace's Q/D/C) and can
   report the R/W/P/E composition of a device queue, which is LBICA's
   workload-characterization input.
-- :mod:`repro.trace.parser` — a text trace format (blkparse-like) with a
-  writer and parser, so captured runs can be replayed through
-  :mod:`repro.workloads.replay`.
+
+The **replay half** turns trace files — captured here or taken from
+public corpora — back into simulated load, streaming end to end:
+
+- :mod:`repro.trace.records` — the canonical
+  :class:`~repro.trace.records.TraceRecord` every format parses into.
+- :mod:`repro.trace.parser` — :func:`~repro.trace.parser.iter_trace`
+  (lazy, constant-memory) plus the list-returning ``load_trace`` /
+  ``save_trace`` convenience layer.
+- :mod:`repro.trace.adapters` — the format registry (native text,
+  blkparse output, MSR-Cambridge CSV) behind the parser's ``adapter=``
+  argument.
+- :mod:`repro.trace.operators` — composable generator transforms
+  (``time_compress``, ``rate_multiply``, ``slice``, ``lba_shift``,
+  ``interleave``) for reshaping streams before replay.
+- :mod:`repro.trace.synth` — deterministic synthetic streams for
+  benchmarks that need millions of records without a file.
+
+:mod:`repro.workloads.replay` consumes these streams chunk by chunk;
+``docs/TRACES.md`` is the user-facing guide.
 """
 
 from repro.trace.blktrace import BlkTracer
 from repro.trace.iostat import IntervalSample, IostatMonitor
-from repro.trace.parser import TraceParseError, load_trace, save_trace
+from repro.trace.parser import (
+    TraceParseError,
+    iter_trace,
+    load_trace,
+    save_trace,
+)
 from repro.trace.records import TraceRecord
 
 __all__ = [
@@ -26,6 +48,7 @@ __all__ = [
     "IostatMonitor",
     "IntervalSample",
     "TraceRecord",
+    "iter_trace",
     "load_trace",
     "save_trace",
     "TraceParseError",

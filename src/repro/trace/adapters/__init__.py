@@ -1,0 +1,207 @@
+"""Trace format adapters: one registry, many on-disk formats.
+
+Public block traces come in many shapes — blkparse dumps, the
+MSR-Cambridge CSVs, this project's own text format — and the replay
+stack should not care which one a file uses.  A :class:`TraceAdapter`
+translates one *line* of a foreign format into a canonical
+:class:`~repro.trace.records.TraceRecord` (and back, for round-trips);
+:func:`repro.trace.parser.iter_trace` threads every line of a file
+through one adapter instance, so the streaming property is preserved no
+matter the format.
+
+The registry mirrors :mod:`repro.schemes.registry`: classes register
+under a declared ``name``, duplicates are rejected, built-ins load
+lazily on first query, and :func:`get_adapter` raises the canonical
+unknown-name error listing every registered adapter.  Adding a format is
+one class::
+
+    from repro.trace.adapters import TraceAdapter, register_adapter
+
+    @register_adapter
+    class FioLogAdapter(TraceAdapter):
+        name = "fio"
+        description = "fio write_iolog output."
+
+        def parse_line(self, lineno, line):
+            ...  # return a TraceRecord, or None to skip the line
+
+after which ``iter_trace(path, adapter="fio")`` and the ``trace:``
+workload-spec section both accept it.
+
+Adapters may be stateful (the MSR adapter rebases timestamps to the
+first data row and numbers ops as it goes), so :func:`get_adapter`
+returns a **fresh instance** per call — never share one instance across
+concurrent iterations.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Optional
+
+from repro.trace.records import TraceRecord
+
+__all__ = [
+    "TraceAdapter",
+    "register_adapter",
+    "get_adapter",
+    "adapter_names",
+    "adapter_descriptions",
+    "unknown_adapter_error",
+]
+
+#: Registered adapter classes by name.  Treat as read-only; use
+#: :func:`register_adapter` to add entries.  Query order is by each
+#: class's ``registry_order`` (ties broken by registration order), so
+#: the native format lists first regardless of import order.
+_REGISTRY: dict[str, type["TraceAdapter"]] = {}
+
+#: Modules whose import registers the built-in adapters.  Loaded lazily
+#: on first query — the native adapter imports the parser module, which
+#: resolves adapters lazily in turn, so a load-time import here would be
+#: circular.
+_BUILTIN_MODULES = (
+    "repro.trace.adapters.native",
+    "repro.trace.adapters.blkparse",
+    "repro.trace.adapters.msr",
+)
+_builtins_state = "unloaded"  # -> "loading" -> "loaded"
+
+
+class TraceAdapter:
+    """Translates between one trace format and :class:`TraceRecord`.
+
+    Subclasses declare ``name`` / ``description`` and implement
+    :meth:`parse_line`; formats that can be written back (round-trips,
+    format conversion) also implement :meth:`format_record`.
+
+    Attributes:
+        name: Registry key (``iter_trace(path, adapter=name)``).
+        description: One-line summary for listings and docs.
+        registry_order: Sort key for listing order (lower lists first).
+    """
+
+    name: str = ""
+    description: str = ""
+    registry_order: int = 100
+
+    def parse_line(self, lineno: int, line: str) -> Optional[TraceRecord]:
+        """Parse one stripped, non-blank line.
+
+        Returns:
+            The parsed record, or ``None`` for lines the format defines
+            as non-events (comments, CSV headers, untracked blkparse
+            actions).
+
+        Raises:
+            TraceParseError: For lines that should be events but are
+                malformed.
+        """
+        raise NotImplementedError
+
+    def format_record(self, rec: TraceRecord) -> str:
+        """Render one record as a line of this format."""
+        raise NotImplementedError(f"adapter {self.name!r} is read-only")
+
+    def header(self) -> Optional[str]:
+        """Header line emitted before records when dumping (or ``None``)."""
+        return None
+
+    @classmethod
+    def describe(cls) -> str:
+        """The adapter's one-line description (listings, docs)."""
+        return cls.description or cls.__name__
+
+
+def _ensure_builtins() -> None:
+    global _builtins_state
+    if _builtins_state != "unloaded":
+        # "loading" guards reentrancy (a builtin module querying the
+        # registry mid-import); "loaded" is the steady state.
+        return
+    _builtins_state = "loading"
+    try:
+        for module in _BUILTIN_MODULES:
+            importlib.import_module(module)
+    except BaseException:
+        # A failed builtin import must surface again on the next query,
+        # not silently leave a partial registry behind.
+        _builtins_state = "unloaded"
+        raise
+    _builtins_state = "loaded"
+
+
+def register_adapter(
+    cls: type[TraceAdapter], *, overwrite: bool = False
+) -> type[TraceAdapter]:
+    """Register a :class:`TraceAdapter` subclass under its ``name``.
+
+    Usable as a decorator.  Duplicate names are rejected (pass
+    ``overwrite=True`` to deliberately replace an entry).
+
+    Returns:
+        ``cls``, unchanged.
+    """
+    if not isinstance(cls, type) or not issubclass(cls, TraceAdapter):
+        raise TypeError(
+            f"register_adapter expects a TraceAdapter subclass, got {cls!r}"
+        )
+    name = cls.name
+    if not name or not isinstance(name, str):
+        raise ValueError(f"{cls.__name__}: adapter name must be a non-empty string")
+    if name in _REGISTRY and not overwrite:
+        raise ValueError(
+            f"trace adapter {name!r} is already registered "
+            f"(by {_REGISTRY[name].__name__}); pass overwrite=True to replace"
+        )
+    _REGISTRY[name] = cls
+    return cls
+
+
+def unknown_adapter_error(name: object) -> ValueError:
+    """The canonical unknown-adapter error, naming the registry source."""
+    return ValueError(
+        f"unknown trace adapter {name!r}; registered adapters "
+        f"(repro.trace.adapters): {', '.join(adapter_names())}"
+    )
+
+
+def get_adapter(name: str) -> TraceAdapter:
+    """A fresh instance of the registered adapter for ``name``.
+
+    A new instance per call: adapters may carry per-iteration state
+    (timestamp rebasing, op numbering), so instances must not be shared
+    across concurrent trace iterations.
+
+    Raises:
+        ValueError: Naming the registry and listing every registered
+            adapter — the error an unknown ``trace:`` spec adapter or
+            ``iter_trace`` argument surfaces.
+    """
+    _ensure_builtins()
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise unknown_adapter_error(name) from None
+    return cls()
+
+
+def _ordered() -> list[tuple[str, type[TraceAdapter]]]:
+    _ensure_builtins()
+    # sorted() is stable, so equal registry_order keeps arrival order.
+    return sorted(_REGISTRY.items(), key=lambda kv: kv[1].registry_order)
+
+
+def adapter_names() -> tuple[str, ...]:
+    """Every registered adapter name (``registry_order``, then arrival)."""
+    return tuple(name for name, _ in _ordered())
+
+
+def adapter_descriptions() -> dict[str, str]:
+    """Every registered adapter with its one-line description."""
+    return {name: cls.describe() for name, cls in _ordered()}
+
+
+def _registered(name: str) -> Optional[type[TraceAdapter]]:
+    """Internal: the entry for ``name`` or ``None`` (tests and tooling)."""
+    return _REGISTRY.get(name)

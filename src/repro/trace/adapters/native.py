@@ -1,0 +1,44 @@
+"""The project's own text format as an adapter.
+
+One event per line, eight whitespace-separated fields::
+
+    <time_us> <device> <action> <tag> <rw> <lba> <nblocks> <op_id>
+
+This is the only format that carries the paper's full R/W/P/E tag set
+and the Q/D/C action codes, so it is lossless for captured runs.  The
+line-level logic lives in :func:`repro.trace.parser.parse_native_line`;
+this class is the registry face of it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.trace.adapters import TraceAdapter, register_adapter
+from repro.trace.parser import parse_native_line
+from repro.trace.records import TraceRecord
+
+__all__ = ["NativeAdapter"]
+
+
+@register_adapter
+class NativeAdapter(TraceAdapter):
+    """Native 8-field text format (lossless: full tag/action alphabet)."""
+
+    name = "native"
+    description = (
+        "The project's text format: time_us device action tag rw lba "
+        "nblocks op_id (lossless R/W/P/E + Q/D/C)."
+    )
+    registry_order = 0
+
+    def parse_line(self, lineno: int, line: str) -> Optional[TraceRecord]:
+        if line.startswith("#"):
+            return None
+        return parse_native_line(lineno, line)
+
+    def format_record(self, rec: TraceRecord) -> str:
+        return rec.format_line()
+
+    def header(self) -> Optional[str]:
+        return "# time_us device action tag rw lba nblocks op_id"

@@ -166,6 +166,8 @@ class IostatMonitor:
         schedules nothing new, so the event sequence is unchanged.
         """
         self._sample_hooks.append(fn)
+
+    def instantaneous_qtimes(self) -> tuple[float, float]:
         """Instantaneous Eq. 1 ``(cache_Qtime, disk_Qtime)`` right now."""
         cache_qt = eq1_queue_time(self.ssd.qsize, self.ssd.avg_latency)
         disk_qt = eq1_queue_time(self.hdd.qsize, self.hdd.avg_latency)

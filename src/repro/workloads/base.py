@@ -158,6 +158,7 @@ class WorkloadStats:
     reads: int = 0
     writes: int = 0
     throttled: int = 0  #: arrivals deferred by backpressure
+    skipped: int = 0  #: trace records dropped during replay (non-application events)
     finished: bool = False
 
 

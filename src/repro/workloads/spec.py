@@ -54,6 +54,29 @@ top-level ``churn`` block (``seed``, ``arrive_window_intervals``,
 ``keep_first``) draws a seeded churn process for every tenant that did
 not declare explicit times.  See :mod:`repro.service`.
 
+A third form replays a **trace file** instead of generating arrivals: a
+spec with a ``trace`` section builds a streaming
+:class:`~repro.workloads.replay.ReplayWorkload` — the file is read
+lazily through a format adapter, optionally reshaped by trace
+operators, and optionally cloned into N interleaved tenants::
+
+    {
+      "name": "prod_replay",
+      "trace": {
+        "path": "examples/traces/capture.trace",
+        "adapter": "native",
+        "operators": [{"op": "time_compress", "factor": 8}],
+        "interleave": 3,
+        "lba_stride_blocks": 65536,
+        "duration_us": 2000000.0
+      }
+    }
+
+Adapters come from :mod:`repro.trace.adapters`, operators from
+:mod:`repro.trace.operators`; ``docs/TRACES.md`` walks through the whole
+section.  Replay timestamps are authoritative, so the ``rate_scale`` /
+``max_outstanding`` knobs do not apply to this form.
+
 :func:`workload_from_spec` builds a live
 :class:`~repro.workloads.base.Workload`; :func:`load_workload_spec`
 parses a JSON file first.  Unknown keys raise — specs are validated, not
@@ -408,6 +431,92 @@ def _multi_tenant_from_spec(
         raise SpecError(f"tenant workload spec: {exc}") from None
 
 
+def _replay_from_spec(spec: Mapping[str, Any]) -> Any:
+    """Build a :class:`ReplayWorkload` from a ``trace`` spec.
+
+    Validation is eager — the file must exist, the adapter must be
+    registered, and every operator spec must compile — so a bad scenario
+    fails at build time, not thousands of simulated microseconds in.
+    The trace file itself stays unread until the run pulls its first
+    chunk (streaming is preserved).
+    """
+    from repro.trace.adapters import get_adapter
+    from repro.trace.operators import compile_operator, lba_shift
+    from repro.trace.parser import iter_trace
+    from repro.workloads.replay import ReplayWorkload
+
+    _check_keys(spec, {"name", "trace"}, "trace workload spec")
+    trace = _require(spec, "trace", "trace workload spec")
+    if not isinstance(trace, Mapping):
+        raise SpecError("trace workload spec: trace must be a mapping")
+    _check_keys(
+        trace,
+        {
+            "path",
+            "adapter",
+            "operators",
+            "interleave",
+            "lba_stride_blocks",
+            "time_scale",
+            "streaming",
+            "chunk_records",
+            "duration_us",
+        },
+        "trace",
+    )
+    path = Path(str(_require(trace, "path", "trace")))
+    if not path.is_file():
+        raise SpecError(f"trace: no such trace file: {path}")
+    adapter = str(trace.get("adapter", "native"))
+    try:
+        get_adapter(adapter)  # existence probe; iter_trace re-resolves fresh
+    except ValueError as exc:
+        raise SpecError(f"trace: {exc}") from None
+    op_specs = trace.get("operators", [])
+    if not isinstance(op_specs, list):
+        raise SpecError("trace: operators must be a list of operator specs")
+    try:
+        transforms = [compile_operator(op) for op in op_specs]
+    except ValueError as exc:
+        raise SpecError(f"trace: {exc}") from None
+    tenants = int(trace.get("interleave", 1))
+    if tenants < 1:
+        raise SpecError("trace: interleave must be >= 1")
+    stride = int(trace.get("lba_stride_blocks", 0))
+    if stride < 0:
+        raise SpecError("trace: lba_stride_blocks must be non-negative")
+    streaming = trace.get("streaming")
+    if streaming is not None:
+        streaming = bool(streaming)
+    if tenants > 1 and streaming is False:
+        raise SpecError("trace: interleaved replay is always streaming")
+
+    def stream(tenant: int):
+        recs = iter_trace(path, adapter=adapter)
+        for transform in transforms:
+            recs = transform(recs)
+        if stride and tenant:
+            recs = lba_shift(recs, tenant * stride)
+        return recs
+
+    kwargs: dict[str, Any] = {
+        "time_scale": float(trace.get("time_scale", 1.0)),
+        "name": str(spec.get("name", "trace_replay")),
+    }
+    if "chunk_records" in trace:
+        kwargs["chunk_records"] = int(trace["chunk_records"])
+    if "duration_us" in trace:
+        kwargs["duration_us"] = float(trace["duration_us"])
+    try:
+        if tenants == 1:
+            return ReplayWorkload(stream(0), streaming=streaming, **kwargs)
+        return ReplayWorkload(
+            streams=[stream(t) for t in range(tenants)], **kwargs
+        )
+    except ValueError as exc:
+        raise SpecError(f"trace: {exc}") from None
+
+
 def workload_from_spec(
     spec: Mapping[str, Any],
     interval_us: float,
@@ -421,19 +530,24 @@ def workload_from_spec(
     Args:
         spec: The specification (see module docstring) — ``phases`` form
             for a single-tenant workload, ``tenants`` form for a
-            multi-VM consolidation.
+            multi-VM consolidation, ``trace`` form for file replay.
         interval_us: Monitoring interval the phases are expressed in.
         cache_blocks: Shared cache capacity tenant fair-shares are sized
             against (``tenants`` form only).
         rate_scale: Multiplier applied to every phase's arrival rate (and
             composed with per-tenant rate scales) — the run-level knob
-            :class:`~repro.config.SystemConfig` carries.
+            :class:`~repro.config.SystemConfig` carries.  Ignored by the
+            ``trace`` form (replay timestamps are authoritative; use the
+            trace section's ``time_scale`` / operators instead).
         max_outstanding: Default application concurrency bound when the
-            spec does not set its own ``max_outstanding``.
+            spec does not set its own ``max_outstanding``.  Ignored by
+            the ``trace`` form (replay never throttles).
 
     Raises:
         SpecError: On missing/unknown keys or invalid values.
     """
+    if isinstance(spec, Mapping) and "trace" in spec:
+        return _replay_from_spec(spec)
     if isinstance(spec, Mapping) and "tenants" in spec:
         return _multi_tenant_from_spec(
             spec, interval_us, cache_blocks, rate_scale, max_outstanding

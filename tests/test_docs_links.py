@@ -1,0 +1,50 @@
+"""Tier-1 guard for the docs: every intra-repo markdown link resolves."""
+
+import importlib.util
+from pathlib import Path
+
+_REPO = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "check_markdown_links", _REPO / "tools" / "check_markdown_links.py"
+)
+linkcheck = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(linkcheck)
+
+
+def test_default_doc_set_exists():
+    for doc in linkcheck.DEFAULT_DOCS:
+        assert (_REPO / doc).is_file(), doc
+
+
+def test_no_broken_links_in_default_docs():
+    paths = [_REPO / doc for doc in linkcheck.DEFAULT_DOCS]
+    assert linkcheck.broken_links(paths) == []
+
+
+def test_broken_link_detected(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text(
+        "[ok](existing.md) and [bad](missing.md) and "
+        "[ext](https://example.com) and [frag](#section)\n"
+    )
+    (tmp_path / "existing.md").write_text("hi\n")
+    problems = linkcheck.broken_links([doc])
+    assert len(problems) == 1
+    assert "missing.md" in problems[0]
+
+
+def test_anchor_suffix_checks_file_part_only(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text("[sect](other.md#some-anchor)\n")
+    (tmp_path / "other.md").write_text("hi\n")
+    assert linkcheck.broken_links([doc]) == []
+
+
+def test_cli_reports_success(capsys):
+    assert linkcheck.main([]) == 0
+    assert "all intra-repo links resolve" in capsys.readouterr().out
+
+
+def test_cli_missing_input(tmp_path, capsys):
+    assert linkcheck.main([str(tmp_path / "nope.md")]) == 2

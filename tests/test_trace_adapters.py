@@ -1,0 +1,224 @@
+"""Tests for the trace format-adapter layer: registry + built-in formats."""
+
+import pytest
+
+from repro.io.request import BLOCK_BYTES, OpTag
+from repro.trace.adapters import (
+    TraceAdapter,
+    adapter_descriptions,
+    adapter_names,
+    get_adapter,
+    register_adapter,
+)
+from repro.trace.parser import (
+    TraceParseError,
+    dumps_trace,
+    iter_trace,
+    load_trace,
+    loads_trace,
+    save_trace,
+)
+from repro.trace.records import TraceRecord
+
+
+def rec(time, lba=0, n=8, is_write=False, op_id=0, device="ssd", action="Q"):
+    tag = OpTag.WRITE if is_write else OpTag.READ
+    return TraceRecord(time, device, action, tag, is_write, lba, n, op_id)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = adapter_names()
+        assert "native" in names
+        assert "blkparse" in names
+        assert "msr" in names
+
+    def test_native_lists_first(self):
+        assert adapter_names()[0] == "native"
+
+    def test_descriptions_cover_every_name(self):
+        descriptions = adapter_descriptions()
+        assert set(descriptions) == set(adapter_names())
+        assert all(descriptions.values())
+
+    def test_unknown_adapter_error_names_registry(self):
+        with pytest.raises(ValueError, match="repro.trace.adapters"):
+            get_adapter("nope")
+        with pytest.raises(ValueError, match="native"):
+            get_adapter("nope")
+
+    def test_get_adapter_returns_fresh_instances(self):
+        """Stateful adapters (MSR rebasing) must not share state."""
+        a = get_adapter("msr")
+        b = get_adapter("msr")
+        assert a is not b
+        a.parse_line(1, "1000,usr,0,Read,0,4096")
+        # b has seen nothing: its t0 rebases independently
+        parsed = b.parse_line(1, "5000,usr,0,Read,0,4096")
+        assert parsed.time == 0.0
+
+    def test_duplicate_registration_rejected(self):
+        class Dup(TraceAdapter):
+            name = "native"
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_adapter(Dup)
+
+    def test_non_subclass_rejected(self):
+        with pytest.raises(TypeError):
+            register_adapter(object)
+
+    def test_empty_name_rejected(self):
+        class NoName(TraceAdapter):
+            name = ""
+
+        with pytest.raises(ValueError, match="non-empty"):
+            register_adapter(NoName)
+
+    def test_read_only_adapter_raises_on_format(self):
+        class ReadOnly(TraceAdapter):
+            name = "readonly-test"
+
+        with pytest.raises(NotImplementedError):
+            ReadOnly().format_record(rec(0.0))
+
+
+class TestNativeAdapter:
+    def test_round_trip(self):
+        records = [rec(1.5, lba=8, op_id=1), rec(2.5, lba=16, is_write=True, op_id=2)]
+        assert loads_trace(dumps_trace(records)) == records
+
+    def test_parse_error_carries_path(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("1.0 ssd Q R R 0 8 0\nnot a trace line\n")
+        with pytest.raises(TraceParseError) as err:
+            load_trace(path)
+        assert err.value.path == str(path)
+        assert err.value.lineno == 2
+        assert str(path) in str(err.value)
+
+    def test_string_parse_error_has_no_path(self):
+        with pytest.raises(TraceParseError) as err:
+            loads_trace("garbage line here\n")
+        assert err.value.path is None
+        assert "line 1" in str(err.value)
+
+    def test_iter_trace_is_lazy(self, tmp_path):
+        """The bad line must not surface until iteration reaches it."""
+        path = tmp_path / "tail.trace"
+        path.write_text("1.0 ssd Q R R 0 8 0\nbroken\n")
+        it = iter_trace(path)
+        first = next(it)
+        assert first.time == 1.0
+        with pytest.raises(TraceParseError):
+            next(it)
+
+    def test_save_and_load(self, tmp_path):
+        records = [rec(float(i), lba=i, op_id=i) for i in range(5)]
+        path = tmp_path / "t.trace"
+        assert save_trace(records, path) == 5
+        assert load_trace(path) == records
+
+
+class TestBlkparseAdapter:
+    GOOD = "259,0 0 42 0.001204512 833 Q R 81920 + 8 [fio]"
+
+    def test_parse_q_line(self):
+        (parsed,) = loads_trace(self.GOOD, adapter="blkparse")
+        assert parsed.time == pytest.approx(1204.512)
+        assert parsed.device == "259,0"
+        assert parsed.action == "Q"
+        assert parsed.lba == 81920
+        assert parsed.nblocks == 8
+        assert parsed.op_id == 42
+        assert not parsed.is_write
+
+    def test_write_modifiers_accepted(self):
+        line = "259,0 0 1 0.000000001 833 Q WS 0 + 8 [fio]"
+        (parsed,) = loads_trace(line, adapter="blkparse")
+        assert parsed.is_write
+        assert parsed.tag is OpTag.WRITE
+
+    def test_foreign_actions_skipped_even_without_payload(self):
+        """P/U/m lines are short (< 10 fields) but must skip, not raise."""
+        text = "\n".join(
+            [
+                "259,0 0 3 0.000108110 833 P N [fio]",
+                "259,0 0 4 0.000109000 833 U N [fio] 1",
+                "259,0 0 5 0.000110000 833 m N cfq833 inserted",
+                "259,0 0 6 0.000111000 833 G R 81920 + 8 [fio]",
+                self.GOOD,
+            ]
+        )
+        records = loads_trace(text, adapter="blkparse")
+        assert len(records) == 1
+        assert records[0].op_id == 42
+
+    def test_dataless_rwbs_skipped(self):
+        line = "259,0 0 7 0.000200000 833 Q N 0 + 0 [fio]"
+        assert loads_trace(line, adapter="blkparse") == []
+
+    def test_malformed_payload_raises(self):
+        line = "259,0 0 42 0.001204512 833 Q R 81920 * 8 [fio]"
+        with pytest.raises(TraceParseError, match="sector \\+ nblocks"):
+            loads_trace(line, adapter="blkparse")
+
+    def test_round_trip_exact(self):
+        """Timestamps go through integer nanoseconds, so the dump→parse
+        round-trip is bit-exact even for awkward decimals."""
+        records = [
+            rec(1204.512, lba=81920, op_id=42, device="259,0"),
+            rec(999999.999, lba=8, is_write=True, op_id=43, device="259,0"),
+        ]
+        assert loads_trace(dumps_trace(records, "blkparse"), "blkparse") == records
+
+    def test_example_file_parses(self):
+        records = load_trace("examples/traces/fio_seq.blkparse", adapter="blkparse")
+        assert len(records) == 12
+        times = [r.time for r in records]
+        assert times == sorted(times)
+
+
+class TestMsrAdapter:
+    def test_rebases_to_first_row(self):
+        text = (
+            "Timestamp,Hostname,DiskNumber,Type,Offset,Size\n"
+            "128166372003061629,usr,0,Read,7014609920,24576\n"
+            "128166372013061629,usr,0,Write,7014609920,4096\n"
+        )
+        records = loads_trace(text, adapter="msr")
+        assert [r.time for r in records] == [0.0, 1_000_000.0]
+        assert [r.op_id for r in records] == [0, 1]
+        assert records[0].device == "usr.0"
+
+    def test_bytes_become_blocks(self):
+        (parsed,) = loads_trace("100,h,1,Read,8192,6000", adapter="msr")
+        assert parsed.lba == 8192 // BLOCK_BYTES
+        assert parsed.nblocks == 2  # 6000 B rounds up to two 4-KiB blocks
+
+    def test_response_time_column_ignored(self):
+        (parsed,) = loads_trace("100,h,1,Write,0,4096,5012", adapter="msr")
+        assert parsed.is_write
+
+    def test_unsorted_input_rejected(self):
+        text = "2000,h,0,Read,0,4096\n1000,h,0,Read,0,4096\n"
+        with pytest.raises(TraceParseError, match="not sorted"):
+            loads_trace(text, adapter="msr")
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TraceParseError, match="Read or Write"):
+            loads_trace("100,h,0,Trim,0,4096", adapter="msr")
+
+    def test_round_trip(self):
+        text = (
+            "128166372003061629,usr,0,Read,7014609920,24576\n"
+            "128166372013061629,usr,1,Write,4096,4096\n"
+        )
+        records = loads_trace(text, adapter="msr")
+        assert loads_trace(dumps_trace(records, "msr"), "msr") == records
+
+    def test_example_file_parses(self):
+        records = load_trace("examples/traces/msr_sample.csv", adapter="msr")
+        assert len(records) == 15
+        assert records[0].time == 0.0
+        assert all(r.action == "Q" for r in records)

@@ -1,0 +1,192 @@
+"""Tests for composable trace operators and their spec-facing registry."""
+
+import pytest
+
+from repro.io.request import OpTag
+from repro.trace.operators import (
+    OPERATORS,
+    apply_operator_specs,
+    compile_operator,
+    interleave,
+    lba_shift,
+    operator_names,
+    rate_multiply,
+    slice_trace,
+    time_compress,
+)
+from repro.trace.records import TraceRecord
+
+
+def rec(time, lba=0, op_id=0, is_write=False):
+    tag = OpTag.WRITE if is_write else OpTag.READ
+    return TraceRecord(time, "ssd", "Q", tag, is_write, lba, 8, op_id)
+
+
+RECS = [rec(0.0, lba=10, op_id=0), rec(100.0, lba=20, op_id=1), rec(200.0, lba=30, op_id=2)]
+
+
+class TestTimeCompress:
+    def test_divides_timestamps(self):
+        assert [r.time for r in time_compress(RECS, 2.0)] == [0.0, 50.0, 100.0]
+
+    def test_preserves_everything_else(self):
+        out = list(time_compress(RECS, 4.0))
+        assert [r.lba for r in out] == [10, 20, 30]
+        assert [r.op_id for r in out] == [0, 1, 2]
+
+    def test_invalid_factor_raises_eagerly(self):
+        """Validation happens at the call, not at first next()."""
+        with pytest.raises(ValueError):
+            time_compress(RECS, 0)
+        with pytest.raises(ValueError):
+            time_compress(RECS, -1.0)
+
+
+class TestRateMultiply:
+    def test_interpolates_copies(self):
+        out = [r.time for r in rate_multiply(RECS, 2)]
+        assert out == [0.0, 50.0, 100.0, 150.0, 200.0, 200.0]
+
+    def test_duration_preserved(self):
+        out = list(rate_multiply(RECS, 4))
+        assert len(out) == 12
+        assert out[0].time == RECS[0].time
+        assert out[-1].time == RECS[-1].time
+
+    def test_factor_one_is_identity(self):
+        assert list(rate_multiply(RECS, 1)) == RECS
+
+    def test_empty_input(self):
+        assert list(rate_multiply([], 3)) == []
+
+    def test_unsorted_input_raises(self):
+        bad = [rec(100.0), rec(50.0)]
+        with pytest.raises(ValueError, match="time-sorted"):
+            list(rate_multiply(bad, 2))
+
+    def test_invalid_factor_raises_eagerly(self):
+        with pytest.raises(ValueError):
+            rate_multiply(RECS, 0)
+        with pytest.raises(ValueError):
+            rate_multiply(RECS, 1.5)
+
+
+class TestSlice:
+    def test_window(self):
+        out = list(slice_trace(RECS, start_us=50.0, stop_us=200.0))
+        assert [r.time for r in out] == [100.0]
+
+    def test_rebase(self):
+        out = list(slice_trace(RECS, start_us=100.0, rebase=True))
+        assert [r.time for r in out] == [0.0, 100.0]
+
+    def test_stops_at_first_past_stop(self):
+        """Iteration must not consume the stream past the window."""
+        consumed = []
+
+        def source():
+            for r in RECS:
+                consumed.append(r.op_id)
+                yield r
+
+        list(slice_trace(source(), stop_us=100.0))
+        assert consumed == [0, 1]  # op 2 never pulled
+
+    def test_invalid_window_raises_eagerly(self):
+        with pytest.raises(ValueError):
+            slice_trace(RECS, start_us=100.0, stop_us=100.0)
+
+
+class TestLbaShift:
+    def test_shifts(self):
+        assert [r.lba for r in lba_shift(RECS, 1000)] == [1010, 1020, 1030]
+
+    def test_zero_is_identity(self):
+        assert list(lba_shift(RECS, 0)) == RECS
+
+    def test_negative_raises_eagerly(self):
+        with pytest.raises(ValueError):
+            lba_shift(RECS, -1)
+
+
+class TestInterleave:
+    def test_tags_stream_index_as_tenant(self):
+        a = [rec(0.0, op_id=0), rec(20.0, op_id=1)]
+        b = [rec(10.0, op_id=0), rec(30.0, op_id=1)]
+        out = list(interleave([a, b]))
+        assert [(r.time, tid) for r, tid in out] == [
+            (0.0, 0),
+            (10.0, 1),
+            (20.0, 0),
+            (30.0, 1),
+        ]
+
+    def test_ties_break_by_stream_index(self):
+        a = [rec(5.0, op_id=0)]
+        b = [rec(5.0, op_id=0)]
+        out = list(interleave([b, a]))
+        assert [tid for _, tid in out] == [0, 1]
+
+    def test_deterministic(self):
+        def streams():
+            return [[rec(float(i * 3 + s)) for i in range(4)] for s in range(3)]
+
+        assert list(interleave(streams())) == list(interleave(streams()))
+
+    def test_single_stream(self):
+        out = list(interleave([RECS]))
+        assert [tid for _, tid in out] == [0, 0, 0]
+        assert [r for r, _ in out] == RECS
+
+
+class TestOperatorRegistry:
+    def test_names(self):
+        assert set(operator_names()) == set(OPERATORS)
+        assert "time_compress" in operator_names()
+
+    def test_compile_and_apply(self):
+        transform = compile_operator({"op": "time_compress", "factor": 2.0})
+        assert [r.time for r in transform(RECS)] == [0.0, 50.0, 100.0]
+
+    def test_unknown_operator(self):
+        with pytest.raises(ValueError, match="repro.trace.operators"):
+            compile_operator({"op": "reverse"})
+
+    def test_unknown_parameter(self):
+        with pytest.raises(ValueError, match="unknown parameters"):
+            compile_operator({"op": "time_compress", "factor": 2.0, "speed": 9})
+
+    def test_missing_required_parameter(self):
+        with pytest.raises(ValueError, match="time_compress"):
+            compile_operator({"op": "time_compress"})
+
+    def test_non_mapping_spec(self):
+        with pytest.raises(ValueError, match="'op' key"):
+            compile_operator(["time_compress"])
+
+    def test_apply_operator_specs_composes_in_order(self):
+        out = list(
+            apply_operator_specs(
+                RECS,
+                [
+                    {"op": "time_compress", "factor": 2.0},
+                    {"op": "slice", "stop_us": 100.0},
+                    {"op": "lba_shift", "blocks": 5},
+                ],
+            )
+        )
+        assert [(r.time, r.lba) for r in out] == [(0.0, 15), (50.0, 25)]
+
+    def test_pipeline_is_lazy(self):
+        """Composed specs must not consume the stream until iterated."""
+        pulled = []
+
+        def source():
+            for r in RECS:
+                pulled.append(r.op_id)
+                yield r
+
+        stream = apply_operator_specs(source(), [{"op": "lba_shift", "blocks": 1}])
+        assert pulled == []
+        next(stream)
+        assert pulled == [0]

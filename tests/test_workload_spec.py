@@ -1,6 +1,7 @@
 """Unit tests for declarative workload specs (dict / JSON)."""
 
 import json
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -293,3 +294,105 @@ class TestRateScaleThreading:
         spec["tenants"][0]["workload"] = "consolidated3"
         with pytest.raises(SpecError, match="cannot nest"):
             workload_from_spec(spec, 1000.0)
+
+
+class TestTraceSpecForm:
+    """The ``trace:`` spec section builds streaming ReplayWorkloads."""
+
+    @staticmethod
+    def trace_file(tmp_path):
+        from repro.trace.parser import save_trace
+        from repro.trace.synth import synthetic_trace
+
+        path = tmp_path / "t.trace"
+        save_trace(synthetic_trace(20, seed=2), path)
+        return path
+
+    def trace_spec(self, tmp_path, **trace_keys):
+        return {
+            "name": "replay_test",
+            "trace": {"path": str(self.trace_file(tmp_path)), **trace_keys},
+        }
+
+    def test_builds_streaming_replay(self, tmp_path, sim):
+        from repro.workloads.replay import ReplayWorkload
+
+        wl = workload_from_spec(self.trace_spec(tmp_path), 1000.0)
+        assert isinstance(wl, ReplayWorkload)
+        assert wl.streaming
+        assert wl.name == "replay_test"
+        wl.bind(sim, lambda r: None, None)
+        sim.run()
+        assert wl.stats.generated == 20
+
+    def test_operators_applied(self, tmp_path, sim):
+        spec = self.trace_spec(
+            tmp_path, operators=[{"op": "time_compress", "factor": 2.0}]
+        )
+        plain = workload_from_spec(self.trace_spec(tmp_path), 1000.0)
+        compressed = workload_from_spec(spec, 1000.0)
+        times = {}
+        for key, wl in (("plain", plain), ("fast", compressed)):
+            from repro.sim.engine import Simulator
+
+            s = Simulator()
+            arrivals = []
+            wl.bind(s, lambda r, s=s, a=arrivals: a.append(s.now), None)
+            s.run()
+            times[key] = arrivals
+        assert times["fast"] == [t / 2.0 for t in times["plain"]]
+
+    def test_interleave_builds_tenant_streams(self, tmp_path, sim):
+        spec = self.trace_spec(tmp_path, interleave=2, lba_stride_blocks=4096)
+        wl = workload_from_spec(spec, 1000.0)
+        arrivals = []
+        wl.bind(sim, lambda r: arrivals.append((r.tenant_id, r.lba)), None)
+        sim.run()
+        tenants = {tid for tid, _ in arrivals}
+        assert tenants == {0, 1}
+        assert wl.stats.generated == 40
+        # tenant 1 is shifted into its own footprint
+        lba0 = {lba for tid, lba in arrivals if tid == 0}
+        lba1 = {lba for tid, lba in arrivals if tid == 1}
+        assert lba1 == {lba + 4096 for lba in lba0}
+
+    def test_missing_file_rejected(self, tmp_path):
+        spec = {"name": "x", "trace": {"path": str(tmp_path / "nope.trace")}}
+        with pytest.raises(SpecError, match="no such trace file"):
+            workload_from_spec(spec, 1000.0)
+
+    def test_unknown_adapter_rejected(self, tmp_path):
+        with pytest.raises(SpecError, match="unknown trace adapter"):
+            workload_from_spec(self.trace_spec(tmp_path, adapter="fio"), 1000.0)
+
+    def test_bad_operator_rejected_before_reading_file(self, tmp_path):
+        with pytest.raises(SpecError, match="unknown trace operator"):
+            workload_from_spec(
+                self.trace_spec(tmp_path, operators=[{"op": "reverse"}]), 1000.0
+            )
+
+    def test_unknown_trace_key_rejected(self, tmp_path):
+        with pytest.raises(SpecError, match="unknown key"):
+            workload_from_spec(self.trace_spec(tmp_path, speed=9), 1000.0)
+
+    def test_interleave_forces_streaming(self, tmp_path):
+        spec = self.trace_spec(tmp_path, interleave=2, streaming=False)
+        with pytest.raises(SpecError, match="always streaming"):
+            workload_from_spec(spec, 1000.0)
+
+    def test_invalid_interleave_rejected(self, tmp_path):
+        with pytest.raises(SpecError, match="interleave"):
+            workload_from_spec(self.trace_spec(tmp_path, interleave=0), 1000.0)
+
+    def test_duration_and_chunk_forwarded(self, tmp_path):
+        spec = self.trace_spec(tmp_path, duration_us=5000.0, chunk_records=7)
+        wl = workload_from_spec(spec, 1000.0)
+        assert wl.duration_us == 5000.0
+        assert wl.chunk_records == 7
+
+    def test_example_scenario_spec_loads(self):
+        scenario = json.loads(
+            Path("examples/scenarios/trace_replay.json").read_text()
+        )
+        wl = workload_from_spec(scenario["workload"], 1000.0)
+        assert wl.streaming

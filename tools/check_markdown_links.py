@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Check that intra-repo markdown links resolve to real files.
+
+Scans markdown files for inline links (``[text](target)``), skips
+external targets (``http(s)://``, ``mailto:``) and pure fragments
+(``#section``), and verifies every remaining target exists relative to
+the linking file (path fragments like ``docs/FILE.md#anchor`` are
+checked against the file part only; anchor validity is out of scope).
+
+Usage::
+
+    python tools/check_markdown_links.py README.md docs/*.md
+    python tools/check_markdown_links.py          # the default doc set
+
+Importable: :func:`broken_links` powers the tier-1 docs test; the CLI
+exits 1 and lists every broken link.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, Sequence
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The documentation set checked when the CLI gets no arguments.
+DEFAULT_DOCS = (
+    "README.md",
+    "docs/ARCHITECTURE.md",
+    "docs/TRACES.md",
+)
+
+#: Inline markdown links: ``[text](target)``.  Reference-style links and
+#: autolinks are not used in this repo's docs.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def broken_links(paths: Iterable[Path]) -> list[str]:
+    """``"file: target"`` for every intra-repo link that does not resolve."""
+    problems: list[str] = []
+    for path in paths:
+        text = path.read_text(encoding="utf-8")
+        for match in _LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            resolved = (path.parent / file_part).resolve()
+            if not resolved.exists():
+                problems.append(f"{path}: {target}")
+    return problems
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    paths = [Path(a) for a in args] if args else [REPO_ROOT / d for d in DEFAULT_DOCS]
+    missing = [p for p in paths if not p.is_file()]
+    if missing:
+        for p in missing:
+            print(f"no such markdown file: {p}", file=sys.stderr)
+        return 2
+    problems = broken_links(paths)
+    for problem in problems:
+        print(f"BROKEN LINK {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    print(f"checked {len(paths)} file(s): all intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
